@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper at
+reproduction scale, times the underlying kernel with pytest-benchmark, and
+prints the paper-style rows/series so the output can be compared against
+the published numbers (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark *function* with a single round (experiments are heavy)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects printable experiment outputs and emits them at the end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

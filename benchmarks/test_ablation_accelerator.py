@@ -1,0 +1,108 @@
+"""Ablation benchmarks for the EXMA design choices DESIGN.md calls out.
+
+Three ablations on one fixed workload:
+
+* scheduling: FR-FCFS vs 2-stage scheduling vs adding the dynamic page
+  policy (the EX-acc / EX-2stage / EXMA stack of Fig. 18);
+* compression: CHAIN on vs off (DRAM traffic and cycles);
+* index: exact Occ ranks vs the naive learned index vs the MTL index
+  (increment entries fetched per lookup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.accel import ExmaAccelerator, ex_2stage_config, ex_acc_config, exma_full_config
+from repro.exma import ExmaSearch, NaiveLearnedIndex
+from repro.experiments import build_workload
+
+SCALED = dict(base_cache_bytes=8 * 1024, index_cache_bytes=1024, cam_entries=128)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("human", genome_length=30_000, seed=0)
+
+
+def test_ablation_scheduling_and_page_policy(benchmark, report, workload):
+    def run_all():
+        results = {}
+        for name, config in (
+            ("FR-FCFS + close page", ex_acc_config().with_overrides(**SCALED)),
+            ("2-stage + close page", ex_2stage_config().with_overrides(**SCALED)),
+            ("2-stage + dynamic page", exma_full_config().with_overrides(**SCALED)),
+        ):
+            accelerator = ExmaAccelerator(workload.table, workload.mtl_index, config)
+            results[name] = accelerator.run(list(workload.requests), name=name)
+        return results
+
+    results = run_once(benchmark, run_all)
+    report.append("")
+    report.append("Ablation - scheduling and page policy (same request stream)")
+    for name, result in results.items():
+        report.append(
+            f"  {name:24s} cycles={result.total_cycles:8d} "
+            f"row-hit={result.dram.row_hit_rate * 100:5.1f}% "
+            f"base$={result.base_cache.hit_rate * 100:5.1f}% "
+            f"idx$={result.index_cache.hit_rate * 100:5.1f}%"
+        )
+    baseline = results["FR-FCFS + close page"]
+    full = results["2-stage + dynamic page"]
+    assert full.total_cycles <= baseline.total_cycles
+    assert full.dram.row_hit_rate >= baseline.dram.row_hit_rate
+
+
+def test_ablation_chain_compression(benchmark, report, workload):
+    def run_both():
+        on = ExmaAccelerator(
+            workload.table,
+            workload.mtl_index,
+            exma_full_config().with_overrides(use_chain_compression=True, **SCALED),
+        ).run(list(workload.requests), name="CHAIN on")
+        off = ExmaAccelerator(
+            workload.table,
+            workload.mtl_index,
+            exma_full_config().with_overrides(use_chain_compression=False, **SCALED),
+        ).run(list(workload.requests), name="CHAIN off")
+        return on, off
+
+    on, off = run_once(benchmark, run_both)
+    report.append("")
+    report.append("Ablation - CHAIN compression")
+    for result in (on, off):
+        report.append(
+            f"  {result.name:10s} DRAM bytes={result.dram.bytes_transferred:8d} "
+            f"cycles={result.total_cycles:8d}"
+        )
+    assert on.dram.bytes_transferred <= off.dram.bytes_transferred
+
+
+def test_ablation_index_choice(benchmark, report, workload):
+    def measure():
+        table = workload.table
+        queries = list(workload.queries)
+        variants = {
+            "exact ranks": ExmaSearch(table, index=None),
+            "naive learned": ExmaSearch(
+                table, index=NaiveLearnedIndex(table, model_threshold=16, increments_per_leaf=256)
+            ),
+            "MTL index": ExmaSearch(table, index=workload.mtl_index),
+        }
+        stats = {}
+        for name, search in variants.items():
+            _, run_stats = search.request_stream(queries)
+            stats[name] = run_stats
+        return stats
+
+    stats = run_once(benchmark, measure)
+    report.append("")
+    report.append("Ablation - Occ index choice (entries fetched per lookup)")
+    for name, run_stats in stats.items():
+        per_lookup = run_stats.increment_entries_read / max(1, run_stats.occ_lookups)
+        report.append(
+            f"  {name:14s} entries/lookup={per_lookup:6.2f} "
+            f"mean prediction error={run_stats.mean_error:6.2f}"
+        )
+    assert stats["MTL index"].occ_lookups == stats["exact ranks"].occ_lookups

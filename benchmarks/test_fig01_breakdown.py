@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 1 — execution-time breakdown of genome analysis."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_fig01_execution_time_breakdown(benchmark, report):
+    rows = run_once(benchmark, run_fig1, genome_length=20_000, read_count=8)
+    report.append("")
+    report.append(format_fig1(rows))
+    report.append("paper: FM-Index consumes 31%-81% of execution time across workloads")
+    mean_fm = sum(row.fm_index_fraction for row in rows) / len(rows)
+    assert 0.3 < mean_fm <= 1.0

@@ -1,0 +1,38 @@
+"""Benchmark: Fig. 6 — inefficiency of prior FM-Index algorithms."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig6
+
+
+def test_fig06_prior_algorithm_inefficiency(benchmark, report):
+    result = run_once(benchmark, run_fig6, genome_length=20_000, seed=0)
+
+    report.append("")
+    report.append("Fig. 6(a) - 1-step FM-Index access locality")
+    trace = result.row_trace
+    report.append(
+        f"  accesses={trace.accesses} distinct buckets={trace.distinct_buckets} "
+        f"consecutive-same-bucket rate={trace.consecutive_same_bucket_rate:.2f} "
+        f"(paper: 197 distinct rows / 200 iterations)"
+    )
+    report.append("Fig. 6(b) - structure size vs step number (paper-scale GB)")
+    for k in (1, 4, 5, 6):
+        report.append(f"  FM-{k}: {result.fm_sizes_gb[k]:8.1f} GB")
+    for k in (11, 21, 32):
+        report.append(f"  LISA-{k}: {result.lisa_sizes_gb[k]:6.1f} GB")
+    report.append(
+        "Fig. 6(c) - LISA learned-index error: "
+        f"mean={result.lisa_error_stats.mean_error:.1f} "
+        f"p50={result.lisa_error_stats.percentile_50:.1f} "
+        f"max={result.lisa_error_stats.max_error:.0f} (paper mean ~3K at 3 Gbp scale)"
+    )
+    report.append("Fig. 6(d) - CPU search throughput normalised to FM-1")
+    for name, value in result.cpu_throughput_normalised.items():
+        report.append(f"  {name:10s} {value:5.2f}x")
+    report.append("paper: FM-5 1.21x, LISA-21 2.15x, LISA-21P 5.1x, LISA-21PC 8.53x")
+
+    norm = result.cpu_throughput_normalised
+    assert norm["LISA-21PC"] > norm["LISA-21P"] >= norm["LISA-21"] > 1.0
+    assert norm["FM-6"] < norm["FM-5"]

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 10 — EXMA table size/throughput trade-off."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig10
+
+
+def test_fig10_exma_step_tradeoff(benchmark, report):
+    result = run_once(benchmark, run_fig10, genome_length=20_000, seed=0)
+
+    report.append("")
+    report.append("Fig. 10(a) - EXMA size breakdown vs step number (paper-scale GB)")
+    for row in result.sizes:
+        report.append(
+            f"  k={row.step:2d}  SA={row.suffix_array_gb:5.1f}  index={row.index_gb:4.1f}  "
+            f"incr={row.increments_gb:5.1f}  base={row.bases_gb:6.1f}  total={row.total_gb:6.1f}"
+        )
+    report.append("paper: 15-step = 29.5 GB, 16-step = 41.5 GB")
+    report.append("Fig. 10(b) - CPU throughput normalised to LISA-21")
+    for name, value in result.throughput_normalised.items():
+        error = result.measured_errors.get(name, float("nan"))
+        report.append(f"  {name:9s} {value:5.2f}x  (measured index error {error:6.1f})")
+    report.append("paper: EXMA-15 0.93x, EXMA-15M 1.75x over LISA-21")
+
+    by_step = {row.step: row for row in result.sizes}
+    assert 25 < by_step[15].total_gb < 35
+    assert result.throughput_normalised["EXMA-15M"] >= result.throughput_normalised["EXMA-17"]

@@ -1,0 +1,30 @@
+"""Benchmark: Figs. 11 and 12 — increment distributions and EXMA profile."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig11_12
+
+
+def test_fig11_12_increment_distributions_and_profile(benchmark, report):
+    result = run_once(benchmark, run_fig11_12, genome_length=20_000, k=5, seed=0)
+
+    report.append("")
+    report.append("Fig. 11 - similarity of per-k-mer increment distributions")
+    report.append(
+        f"  top k-mers compared: {result.similarity.kmer_count}, "
+        f"mean pairwise KS distance {result.similarity.mean_pairwise_ks_distance:.3f} "
+        f"(0 = identical distributions; paper argues they look alike)"
+    )
+    report.append("Fig. 12 - EXMA profile by increment-count bucket")
+    report.append(f"  {'bucket':>16s} {'kmer %':>8s} {'time %':>8s} {'mean err':>9s}")
+    for bucket in result.buckets:
+        upper = "inf" if bucket.upper is None else str(bucket.upper)
+        report.append(
+            f"  {bucket.lower:>7d}-{upper:<8s} {bucket.kmer_fraction * 100:7.2f}% "
+            f"{bucket.search_time_fraction * 100:7.2f}% {bucket.mean_prediction_error:9.2f}"
+        )
+    report.append("paper: heavy k-mers are a tiny fraction of k-mers but >50% of search time")
+
+    populated = [b for b in result.buckets if b.kmer_fraction > 0]
+    assert populated[-1].search_time_fraction >= populated[-1].kmer_fraction

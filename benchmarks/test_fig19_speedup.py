@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 19 — application speedup with EXMA."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import format_fig19, run_fig19_20
+
+
+def test_fig19_application_speedup(benchmark, report):
+    result = run_once(
+        benchmark,
+        run_fig19_20,
+        search_speedup=23.6,
+        datasets=("human", "picea", "pinus"),
+        genome_length=12_000,
+        read_count=6,
+    )
+    report.append("")
+    report.append(format_fig19(result))
+    report.append("paper: 2.5x-3.2x gmean application speedup across datasets")
+    assert result.gmean_speedup() > 1.5
+    for dataset in ("human", "picea", "pinus"):
+        assert result.gmean_speedup(dataset) > 1.0

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 20 — energy reduction with EXMA."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import format_fig20, run_fig19_20
+
+
+def test_fig20_energy_reduction(benchmark, report):
+    result = run_once(
+        benchmark,
+        run_fig19_20,
+        search_speedup=23.6,
+        datasets=("human", "picea", "pinus"),
+        genome_length=12_000,
+        read_count=6,
+    )
+    report.append("")
+    report.append(format_fig20(result))
+    report.append("paper: 61%-70% total energy reduction; accelerator <3% of system energy")
+    assert result.gmean_energy() < 0.7
+    for outcome in result.outcomes:
+        accel_energy = (
+            outcome.exma_energy.accelerator_dynamic_j + outcome.exma_energy.accelerator_leakage_j
+        )
+        assert accel_energy < 0.1 * outcome.exma_energy.total_j

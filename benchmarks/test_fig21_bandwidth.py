@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 21 — DRAM bandwidth utilisation across accelerators."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig21
+
+
+def test_fig21_bandwidth_utilization(benchmark, report):
+    utilization = run_once(benchmark, run_fig21)
+    report.append("")
+    report.append("Fig. 21 - DRAM bandwidth utilisation")
+    for name, value in utilization.items():
+        report.append(f"  {name:6s} {value * 100:5.1f}%")
+    report.append("paper: ASIC 26%, MEDAL 67%, EXMA 91% (GPU in between)")
+    assert utilization["ASIC"] < utilization["MEDAL"] < utilization["EXMA"]
+    assert utilization["EXMA"] > 0.85

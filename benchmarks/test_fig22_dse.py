@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 22 — EXMA design-space exploration."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig22
+
+
+def test_fig22_design_space_exploration(benchmark, report):
+    points = run_once(benchmark, run_fig22, genome_length=30_000, seed=0)
+    report.append("")
+    report.append("Fig. 22 - design-space exploration (normalised to default EXMA)")
+    current_group = None
+    for point in points:
+        if point.group != current_group:
+            report.append(f"  [{point.group}]")
+            current_group = point.group
+        report.append(f"    {point.label:>6s} {point.normalised_throughput:5.2f}x")
+    report.append(
+        "paper: 256-entry CAM reaches 77% of 512-entry; 2 PE arrays reach 89% of 4; "
+        "throughput saturates at 1 MB base cache and 4 DIMMs"
+    )
+    groups = {p.group for p in points}
+    assert groups == {"DIMMs", "PE arrays", "CAM entries", "base cache"}
+    # PE arrays are never the bottleneck for MTL inference.
+    pe_points = [p for p in points if p.group == "PE arrays"]
+    assert max(p.normalised_throughput for p in pe_points) < 1.2

@@ -1,0 +1,25 @@
+"""Benchmark: Fig. 23 — CHAIN vs BΔI compression on pinus."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig23
+
+
+def test_fig23_chain_compression(benchmark, report):
+    comparison = run_once(benchmark, run_fig23, dataset="pinus", genome_length=30_000, k=5, seed=0)
+    report.append("")
+    report.append("Fig. 23 - data-structure sizes on pinus (paper-scale GB)")
+    report.append(f"  LISA-21 original : {comparison.lisa_original_gb:7.1f} GB")
+    report.append(
+        f"  LISA-21 + BdI    : {comparison.lisa_bdi_gb:7.1f} GB "
+        f"(measured ratio {comparison.measured_bdi_ratio:.2f})"
+    )
+    report.append(f"  EXMA-15 original : {comparison.exma_original_gb:7.1f} GB")
+    report.append(
+        f"  EXMA-15 + CHAIN  : {comparison.exma_chain_gb:7.1f} GB "
+        f"(measured ratio {comparison.measured_chain_ratio:.2f})"
+    )
+    report.append("paper: LISA-21 330->152 GB with BdI; EXMA-15 compressed to 40 GB with CHAIN")
+    assert comparison.lisa_original_gb > comparison.exma_original_gb
+    assert comparison.exma_chain_gb < comparison.lisa_bdi_gb

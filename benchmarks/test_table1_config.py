@@ -1,0 +1,28 @@
+"""Benchmark: Table I — EXMA accelerator hardware configuration."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_table1_hardware_configuration(benchmark, report):
+    table1 = run_once(benchmark, run_table1)
+    report.append("")
+    report.append("Table I - EXMA accelerator configuration")
+    for component in table1.components:
+        report.append(
+            f"  {component.name:18s} area={component.area_mm2:6.3f} mm^2 "
+            f"energy/op={component.energy_per_op_pj:5.2f} pJ"
+        )
+    report.append(
+        f"  total area {table1.total_area_mm2:.2f} mm^2 (paper {table1.reported_area_mm2} mm^2), "
+        f"leakage {table1.leakage_w * 1000:.1f} mW"
+    )
+    report.append(
+        f"  CPU {table1.cpu_cores} cores / {table1.cpu_llc_mb} MB LLC; "
+        f"DRAM {table1.dram_channels} channels, {table1.dram_capacity_gb} GB, "
+        f"tRCD-tCAS-tRP {table1.dram_timings}"
+    )
+    assert table1.area_matches_reported
+    assert table1.dram_timings == (16, 16, 16)

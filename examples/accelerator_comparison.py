@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Accelerator comparison: reproduce the shape of Table II and Fig. 21.
+
+Builds the pinus-profile workload, measures the MTL index error on it, and
+feeds that measurement into the analytic accelerator models (GPU, FPGA,
+ASIC, MEDAL, FindeR, EXMA) sharing the same DDR4-2400 main memory — the
+comparison behind the paper's headline 4.9x-over-MEDAL claim.
+
+Run with:  python examples/accelerator_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.accel import standard_accelerator_suite
+from repro.experiments import build_workload, run_fig21
+
+
+def main() -> None:
+    print("== accelerator comparison (Table II / Fig. 21 shape) ==")
+    workload = build_workload("pinus", genome_length=20_000, seed=0)
+    measured_error = max(workload.stats.mean_error, 182.0)
+    print(
+        f"scaled pinus workload: {len(workload.requests)} Occ requests, "
+        f"measured MTL error {workload.stats.mean_error:.2f} "
+        f"(paper-scale error regime used for the table: {measured_error:.0f})"
+    )
+
+    print(f"\n{'device':8s} {'algorithm':10s} {'Mbase/s':>9s} {'Mb/s/W':>8s} {'vs MEDAL':>9s}")
+    results = {
+        model.name: model.throughput(dataset_size_gb=128.0)
+        for model in standard_accelerator_suite(mean_exma_error=measured_error)
+    }
+    medal = results["MEDAL"].mbase_per_second
+    for model in standard_accelerator_suite(mean_exma_error=measured_error):
+        result = results[model.name]
+        print(
+            f"{model.name:8s} {model.algorithm:10s} {result.mbase_per_second:9.1f} "
+            f"{result.mbase_per_second_per_watt:8.2f} {result.mbase_per_second / medal:8.2f}x"
+        )
+    print("paper:   EXMA is 4.9x MEDAL's throughput and 4.8x its throughput/Watt")
+
+    print("\nDRAM bandwidth utilisation (Fig. 21):")
+    for name, value in run_fig21(mean_exma_error=measured_error).items():
+        print(f"  {name:6s} {value * 100:5.1f}%")
+    print("paper:   ASIC 26%, MEDAL 67%, EXMA 91%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Accelerator layer: EXMA accelerator model, baselines, configs, metrics."""
+
+from .baselines import (
+    AcceleratorModel,
+    CpuMemoryParameters,
+    CpuThroughputModel,
+    SoftwareAlgorithm,
+    asic_model,
+    exma_analytic_model,
+    finder_model,
+    fpga_model,
+    gpu_model,
+    medal_model,
+    standard_accelerator_suite,
+)
+from .config import (
+    DEFAULT_ACCELERATOR_CONFIG,
+    DEFAULT_CPU_CONFIG,
+    CpuConfig,
+    ExmaAcceleratorConfig,
+    ex_2stage_config,
+    ex_acc_config,
+    exma_full_config,
+)
+from .exma_accelerator import AcceleratorRunResult, ExmaAccelerator
+from .metrics import ApplicationRun, SearchThroughput, geometric_mean, normalise
+
+__all__ = [
+    "AcceleratorModel",
+    "CpuMemoryParameters",
+    "CpuThroughputModel",
+    "SoftwareAlgorithm",
+    "asic_model",
+    "exma_analytic_model",
+    "finder_model",
+    "fpga_model",
+    "gpu_model",
+    "medal_model",
+    "standard_accelerator_suite",
+    "DEFAULT_ACCELERATOR_CONFIG",
+    "DEFAULT_CPU_CONFIG",
+    "CpuConfig",
+    "ExmaAcceleratorConfig",
+    "ex_2stage_config",
+    "ex_acc_config",
+    "exma_full_config",
+    "AcceleratorRunResult",
+    "ExmaAccelerator",
+    "ApplicationRun",
+    "SearchThroughput",
+    "geometric_mean",
+    "normalise",
+]

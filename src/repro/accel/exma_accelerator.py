@@ -1,0 +1,323 @@
+"""The EXMA accelerator model: pipeline ❶–❼ of Fig. 14.
+
+The accelerator receives FM-Index requests — (k-mer, pos) pairs — from the
+host, buffers them in its scheduling queue, schedules them (FR-FCFS or
+2-stage), looks bases up in the base cache, index nodes up in the index
+cache, runs MTL inference on the PE arrays, fetches the predicted increment
+(plus the linear-search overshoot when the prediction is wrong) from DRAM,
+and finally reports the Occ result back to the host.  The DMA controller
+routes every DRAM access and asks the memory controller to keep rows open
+when the dynamic page policy applies.
+
+The model replays a request stream produced by
+:meth:`repro.exma.search.ExmaSearch.request_stream` against the configured
+cache/CAM/PE/DRAM models and returns throughput, bandwidth utilisation,
+cache hit rates and energy — the quantities behind Figs. 18, 20, 21 and 22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exma.chain import compression_ratio as chain_ratio
+from ..exma.mtl_index import MTLIndex
+from ..exma.search import OccRequest
+from ..exma.table import ExmaTable
+from ..hw.cache import CacheStats, SetAssociativeCache
+from ..hw.dram import BURST_BYTES, DRAMModel, DRAMStats, MemoryRequest, PagePolicy
+from ..hw.energy import DRAM_SYSTEM_POWER_W, EnergyLedger
+from ..hw.pe_array import InferenceEngine
+from ..hw.scheduler import FrFcfsScheduler, TwoStageScheduler, pair_requests_by_kmer
+from .config import ExmaAcceleratorConfig
+from .metrics import SearchThroughput
+
+#: Bytes per base-array entry (base pointer plus the k-mer's increment count).
+BASE_ENTRY_BYTES = 8
+
+#: Bytes per increment entry before compression.
+INCREMENT_ENTRY_BYTES = 4
+
+#: Bytes occupied by one shared MTL node (8-bit quantised parameters).
+SHARED_NODE_BYTES = 64
+
+#: Bytes occupied by one per-k-mer leaf model.
+LEAF_NODE_BYTES = 8
+
+
+@dataclass
+class AcceleratorRunResult:
+    """Everything measured while replaying one request stream."""
+
+    name: str
+    requests: int
+    bases_processed: int
+    total_cycles: int
+    dram_cycles: int
+    inference_cycles: int
+    seconds: float
+    base_cache: CacheStats
+    index_cache: CacheStats
+    dram: DRAMStats
+    energy: EnergyLedger
+    accelerator_energy_j: float
+    dram_energy_j: float
+    increment_entries_read: int = 0
+    dram_requests: int = 0
+    per_channel: list[DRAMStats] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> SearchThroughput:
+        """Convert to the common throughput/efficiency record."""
+        seconds = max(self.seconds, 1e-12)
+        accel_power = self.accelerator_energy_j / seconds
+        return SearchThroughput(
+            name=self.name,
+            bases_processed=self.bases_processed,
+            seconds=seconds,
+            accelerator_power_w=accel_power,
+            dram_power_w=DRAM_SYSTEM_POWER_W,
+            bandwidth_utilization=self.dram.bandwidth_utilization,
+            row_hit_rate=self.dram.row_hit_rate,
+        )
+
+
+class ExmaAccelerator:
+    """Replay FM-Index request streams on the EXMA accelerator model.
+
+    Args:
+        table: the EXMA table resident in DRAM.
+        index: the MTL index; ``None`` disables learned lookups (every Occ
+            becomes an exact scan, as in the software-only EXMA-15 row).
+        config: accelerator configuration (Table I defaults).
+    """
+
+    def __init__(
+        self,
+        table: ExmaTable,
+        index: MTLIndex | None,
+        config: ExmaAcceleratorConfig | None = None,
+    ) -> None:
+        self._table = table
+        self._index = index
+        self._config = config or ExmaAcceleratorConfig()
+        self._engine = InferenceEngine(self._config.pe_config())
+        self._chain_ratio = self._effective_chain_ratio()
+        self._layout = self._compute_layout()
+
+    # ------------------------------------------------------------------ #
+    # Layout and compression
+    # ------------------------------------------------------------------ #
+
+    def _effective_chain_ratio(self) -> float:
+        """Fraction of increment bytes that still move after CHAIN."""
+        if not self._config.use_chain_compression:
+            return 1.0
+        increments = self._table.increments
+        if increments.size == 0:
+            return 1.0
+        sample = increments[: min(increments.size, 65536)]
+        return chain_ratio(sample)
+
+    def _compute_layout(self) -> dict[str, int]:
+        """Byte offsets of the base array, index nodes and increments."""
+        base_region = self._table.kmer_count * BASE_ENTRY_BYTES
+        if self._index is not None:
+            index_region = (
+                self._index.shared_node_count * SHARED_NODE_BYTES
+                + len(self._index.modelled_kmers) * LEAF_NODE_BYTES
+            )
+        else:
+            index_region = 0
+        return {
+            "base_offset": 0,
+            "index_offset": base_region,
+            "increment_offset": base_region + index_region,
+        }
+
+    def _base_address(self, packed_kmer: int) -> int:
+        return self._layout["base_offset"] + packed_kmer * BASE_ENTRY_BYTES
+
+    def _index_node_address(self, node_id: int) -> int:
+        return self._layout["index_offset"] + node_id * SHARED_NODE_BYTES
+
+    def _increment_address(self, packed_kmer: int, entry_index: int) -> int:
+        base = self._table.base(packed_kmer)
+        if base >= self._table.max_sentinel:
+            base = 0
+        entry_bytes = INCREMENT_ENTRY_BYTES * self._chain_ratio
+        return self._layout["increment_offset"] + int((base + entry_index) * entry_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Main replay loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: list[OccRequest], name: str = "EXMA") -> AcceleratorRunResult:
+        """Replay *requests* and return the measured statistics."""
+        config = self._config
+        base_cache = SetAssociativeCache(
+            config.base_cache_bytes, config.cache_line_bytes, config.base_cache_ways
+        )
+        index_cache = SetAssociativeCache(
+            config.index_cache_bytes, config.cache_line_bytes, config.index_cache_ways
+        )
+        ledger = EnergyLedger()
+        scheduler = (
+            TwoStageScheduler(config.cam_config())
+            if config.two_stage_scheduling
+            else FrFcfsScheduler(config.cam_config())
+        )
+
+        dram_trace: list[MemoryRequest] = []
+        inference_lookups = 0
+        increment_entries = 0
+        row_bytes = config.dram_config().row_bytes
+
+        for batch in scheduler.schedule(requests):
+            # Stage 1: base-cache accesses in k-mer order.
+            for request in batch.stage1:
+                ledger.record("scheduling_queue")
+                ledger.record("base_cache")
+                hit = base_cache.access(self._base_address(request.packed_kmer))
+                if not hit:
+                    address = self._base_address(request.packed_kmer)
+                    dram_trace.append(
+                        MemoryRequest(row=address // row_bytes, nbytes=BURST_BYTES, stream=0)
+                    )
+                    ledger.record("dma_ctrl")
+
+            # Stage 2: index-cache accesses, inference and increment fetch
+            # in pos order, with keep-open hints for the dynamic policy.
+            annotated = pair_requests_by_kmer(batch.stage2)
+            for stream_id, (request, keep_open) in enumerate(annotated):
+                ledger.record("sched_and_row")
+                packed = request.packed_kmer
+                modelled = self._index is not None and self._index.has_model(packed)
+                if modelled:
+                    assert self._index is not None
+                    for node_id in self._index.node_ids_for(packed):
+                        ledger.record("index_cache")
+                        hit = index_cache.access(self._index_node_address(node_id))
+                        if not hit:
+                            address = self._index_node_address(node_id)
+                            dram_trace.append(
+                                MemoryRequest(
+                                    row=address // row_bytes, nbytes=BURST_BYTES, stream=stream_id
+                                )
+                            )
+                            ledger.record("dma_ctrl")
+                    inference_lookups += 1
+                    ledger.record("inference_engine")
+                    predicted = self._index.predict(packed, request.pos)
+                    true_index = self._table.occ(packed, request.pos)
+                    entries = 2 + abs(true_index - predicted)
+                else:
+                    true_index = self._table.occ(packed, request.pos)
+                    count = self._table.frequency(packed)
+                    entries = max(1, min(count, true_index + 1))
+                    predicted = max(0, true_index - entries + 1)
+
+                increment_entries += entries
+                nbytes = max(
+                    1, int(entries * INCREMENT_ENTRY_BYTES * self._chain_ratio)
+                )
+                ledger.record("decompress", entries)
+                address = self._increment_address(packed, predicted)
+                cursor = address
+                remaining = nbytes
+                while remaining > 0:
+                    row = cursor // row_bytes
+                    room_in_row = row_bytes - (cursor % row_bytes)
+                    chunk = min(remaining, room_in_row, BURST_BYTES * 8)
+                    dram_trace.append(
+                        MemoryRequest(
+                            row=row,
+                            nbytes=chunk,
+                            keep_open_hint=keep_open,
+                            stream=stream_id,
+                        )
+                    )
+                    ledger.record("dma_ctrl")
+                    cursor += chunk
+                    remaining -= chunk
+
+        # Replay DRAM traffic, sharded over channels.
+        per_channel = self._run_dram(dram_trace)
+        dram_cycles = max((stats.total_cycles for stats in per_channel), default=0)
+        dram_stats = self._merge_dram(per_channel, dram_cycles)
+
+        inference_cost = self._engine.batch_cost(inference_lookups)
+        # Convert engine cycles (800 MHz) to DRAM-clock cycles (1200 MHz).
+        dram_clock = self._config.dram_config().clock_mhz
+        inference_cycles = int(
+            inference_cost.cycles * dram_clock / self._engine.config.clock_mhz
+        )
+        total_cycles = max(dram_cycles, inference_cycles)
+        seconds = max(total_cycles / (dram_clock * 1e6), 1e-12)
+
+        bases = self._bases_processed(len(requests))
+        accelerator_energy = ledger.total_energy_j(seconds) + inference_cost.energy_pj * 1e-12
+        dram_energy = dram_stats.energy_nj * 1e-9
+
+        return AcceleratorRunResult(
+            name=name,
+            requests=len(requests),
+            bases_processed=bases,
+            total_cycles=total_cycles,
+            dram_cycles=dram_cycles,
+            inference_cycles=inference_cycles,
+            seconds=seconds,
+            base_cache=base_cache.stats,
+            index_cache=index_cache.stats,
+            dram=dram_stats,
+            energy=ledger,
+            accelerator_energy_j=accelerator_energy,
+            dram_energy_j=dram_energy,
+            increment_entries_read=increment_entries,
+            dram_requests=len(dram_trace),
+            per_channel=per_channel,
+        )
+
+    def _run_dram(self, trace: list[MemoryRequest]) -> list[DRAMStats]:
+        """Shard the trace across channels and replay each channel."""
+        config = self._config
+        dram_config = config.dram_config()
+        channels: list[list[MemoryRequest]] = [[] for _ in range(config.channels)]
+        for request in trace:
+            channels[request.row % config.channels].append(request)
+        results = []
+        for channel_trace in channels:
+            model = DRAMModel(dram_config, page_policy=config.page_policy)
+            results.append(model.process(channel_trace))
+        return results
+
+    @staticmethod
+    def _merge_dram(per_channel: list[DRAMStats], total_cycles: int) -> DRAMStats:
+        """Aggregate per-channel statistics into one record."""
+        merged = DRAMStats()
+        for stats in per_channel:
+            merged.requests += stats.requests
+            merged.row_hits += stats.row_hits
+            merged.row_misses += stats.row_misses
+            merged.row_conflicts += stats.row_conflicts
+            merged.activations += stats.activations
+            merged.precharges += stats.precharges
+            merged.bytes_transferred += stats.bytes_transferred
+            merged.data_bus_busy_cycles += stats.data_bus_busy_cycles
+            merged.address_bus_busy_cycles += stats.address_bus_busy_cycles
+            merged.energy_nj += stats.energy_nj
+        merged.total_cycles = total_cycles
+        # Utilisation across channels: busy cycles relative to what all
+        # channels could have moved in the same window.
+        if total_cycles > 0 and per_channel:
+            merged.data_bus_busy_cycles = int(
+                merged.data_bus_busy_cycles / len(per_channel)
+            )
+        return merged
+
+    def _bases_processed(self, request_count: int) -> int:
+        """DNA bases consumed by *request_count* Occ lookups.
+
+        Each backward-search iteration issues two Occ lookups (low and
+        high) and consumes k symbols.
+        """
+        return max(1, request_count * self._table.k // 2)

@@ -1,0 +1,161 @@
+"""Command-line interface for the EXMA reproduction.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``repro-exma search``    — build an EXMA table over a FASTA reference (or
+  a synthetic one) and run exact-match queries against it;
+* ``repro-exma experiment``— run one of the per-figure experiment harnesses
+  and print the paper-style output;
+* ``repro-exma info``      — print the paper-scale size models for a chosen
+  genome length and step number.
+
+Example::
+
+    repro-exma search --genome-length 50000 --queries ACGTACGTACGT TTGACCA
+    repro-exma experiment fig18 --genome-length 30000
+    repro-exma info --genome-length 3000000000 --step 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .exma.mtl_index import MTLIndex
+from .exma.search import ExmaSearch
+from .exma.table import ExmaTable, exma_size_breakdown
+from .genome.io import read_fasta
+from .genome.sequence import random_genome
+from .index.kstep import kstep_size_bytes
+from .lisa.ipbwt import lisa_size_bytes
+
+GB = 1024**3
+
+#: Experiments runnable from the CLI, mapped to their harness entry points.
+EXPERIMENT_NAMES = (
+    "fig1",
+    "fig6",
+    "fig10",
+    "fig13",
+    "fig18",
+    "fig21",
+    "fig23",
+    "table2",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exma",
+        description="EXMA (HPCA 2021) reproduction: exact-match search and experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search = subparsers.add_parser("search", help="search queries with an EXMA table")
+    search.add_argument("--reference", help="FASTA file with the reference (first record used)")
+    search.add_argument(
+        "--genome-length", type=int, default=50_000, help="synthetic genome length when no FASTA"
+    )
+    search.add_argument("--step", type=int, default=6, help="EXMA step number k")
+    search.add_argument("--seed", type=int, default=0, help="synthetic genome seed")
+    search.add_argument("--no-index", action="store_true", help="disable the MTL index")
+    search.add_argument("--queries", nargs="+", required=True, help="DNA queries to search")
+
+    experiment = subparsers.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name", choices=EXPERIMENT_NAMES, help="experiment to run")
+    experiment.add_argument("--genome-length", type=int, default=20_000)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    info = subparsers.add_parser("info", help="print paper-scale size models")
+    info.add_argument("--genome-length", type=int, default=3_000_000_000)
+    info.add_argument("--step", type=int, default=15)
+    return parser
+
+
+def _load_reference(args: argparse.Namespace) -> str:
+    if args.reference:
+        records = read_fasta(args.reference)
+        if not records:
+            raise SystemExit(f"no FASTA records in {args.reference}")
+        return records[0].sequence
+    return random_genome(args.genome_length, seed=args.seed)
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    reference = _load_reference(args)
+    table = ExmaTable(reference, k=args.step)
+    index = None if args.no_index else MTLIndex(table, model_threshold=32, epochs=100)
+    search = ExmaSearch(table, index=index)
+    print(f"reference: {len(reference):,} bp, EXMA step k={args.step}")
+    for query in args.queries:
+        interval = search.backward_search(query)
+        positions = search.find(query) if interval.count and interval.count <= 20 else []
+        location = f" at {positions}" if positions else ""
+        print(f"  {query}: {interval.count} occurrence(s){location}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    name = args.name
+    if name == "fig1":
+        print(ex.format_fig1(ex.run_fig1(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig6":
+        result = ex.run_fig6(genome_length=args.genome_length, seed=args.seed)
+        print("CPU throughput normalised to FM-1:")
+        for scheme, value in result.cpu_throughput_normalised.items():
+            print(f"  {scheme:10s} {value:5.2f}x")
+    elif name == "fig10":
+        result = ex.run_fig10(genome_length=args.genome_length, seed=args.seed)
+        print("throughput normalised to LISA-21:")
+        for scheme, value in result.throughput_normalised.items():
+            print(f"  {scheme:9s} {value:5.2f}x")
+    elif name == "fig13":
+        print(ex.format_fig13(ex.run_fig13(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig18":
+        print(ex.format_fig18(ex.run_fig18(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig21":
+        for device, value in ex.run_fig21().items():
+            print(f"  {device:6s} {value * 100:5.1f}%")
+    elif name == "fig23":
+        comparison = ex.run_fig23(genome_length=args.genome_length, seed=args.seed)
+        print(f"LISA-21 + BdI  : {comparison.lisa_bdi_gb:7.1f} GB")
+        print(f"EXMA-15 + CHAIN: {comparison.exma_chain_gb:7.1f} GB")
+    elif name == "table2":
+        print(ex.format_table2(ex.run_table2()))
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    length = args.genome_length
+    step = args.step
+    breakdown = exma_size_breakdown(length, step)
+    print(f"genome length: {length:,} bp, step k={step}")
+    print(f"  k-step FM-Index (Eq. 2): {kstep_size_bytes(length, step) / GB:12.1f} GB")
+    print(f"  LISA-{step}:             {lisa_size_bytes(length, step) / GB:12.1f} GB")
+    print("  EXMA table:")
+    print(f"    increments : {breakdown.increments / GB:8.1f} GB")
+    print(f"    bases      : {breakdown.bases / GB:8.1f} GB")
+    print(f"    MTL index  : {breakdown.index / GB:8.1f} GB")
+    print(f"    suffix arr : {breakdown.suffix_array / GB:8.1f} GB")
+    print(f"    total      : {breakdown.total / GB:8.1f} GB")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "search":
+        return _run_search(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "info":
+        return _run_info(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

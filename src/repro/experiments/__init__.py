@@ -1,0 +1,64 @@
+"""Experiment harnesses: one entry point per table/figure of the paper."""
+
+from .common import Workload, build_workload, sample_queries
+from .fig01_breakdown import BreakdownRow, format_fig1, run_fig1
+from .fig06_prior import Fig6Result, run_fig6
+from .fig10_exma_tradeoff import ExmaSizeRow, Fig10Result, exma_size_sweep, run_fig10
+from .fig11_12_increments import Fig11_12Result, run_fig11_12
+from .fig13_index_error import ErrorComparison, Fig13Result, format_fig13, run_fig13
+from .fig18_throughput import Fig18Result, Fig18Row, format_fig18, run_fig18
+from .fig19_20_apps import ApplicationOutcome, Fig19_20Result, format_fig19, format_fig20, run_fig19_20
+from .fig21_23_memory import (
+    CompressionComparison,
+    DsePoint,
+    run_fig21,
+    run_fig22,
+    run_fig23,
+)
+from .tables import (
+    Table1Result,
+    Table2Row,
+    format_table2,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "sample_queries",
+    "BreakdownRow",
+    "format_fig1",
+    "run_fig1",
+    "Fig6Result",
+    "run_fig6",
+    "ExmaSizeRow",
+    "Fig10Result",
+    "exma_size_sweep",
+    "run_fig10",
+    "Fig11_12Result",
+    "run_fig11_12",
+    "ErrorComparison",
+    "Fig13Result",
+    "format_fig13",
+    "run_fig13",
+    "Fig18Result",
+    "Fig18Row",
+    "format_fig18",
+    "run_fig18",
+    "ApplicationOutcome",
+    "Fig19_20Result",
+    "format_fig19",
+    "format_fig20",
+    "run_fig19_20",
+    "CompressionComparison",
+    "DsePoint",
+    "run_fig21",
+    "run_fig22",
+    "run_fig23",
+    "Table1Result",
+    "Table2Row",
+    "format_table2",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,84 @@
+"""Fig. 1 — execution-time breakdown of genome-analysis applications.
+
+The paper shows, for alignment and assembly under Illumina / Nanopore /
+PacBio reads plus annotation and compression, the fraction of execution
+time spent in FM-Index searches, dynamic programming, and everything else;
+FM-Index costs 31 %-81 % of the time.  This harness runs each application
+at reproduction scale, converts the measured work counters into CPU time
+with the breakdown cost model, and reports the same stacked fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.metrics import ApplicationRun
+from ..apps.pipeline import default_breakdown_model, run_application
+from ..genome.datasets import build_dataset
+from ..genome.reads import ILLUMINA, ONT_2D, PACBIO, ErrorProfile
+
+#: The application/profile combinations of Fig. 1, in the paper's order.
+FIG1_COLUMNS: tuple[tuple[str, ErrorProfile], ...] = (
+    ("alignment", ILLUMINA),
+    ("assembly", ILLUMINA),
+    ("alignment", ONT_2D),
+    ("assembly", ONT_2D),
+    ("alignment", PACBIO),
+    ("assembly", PACBIO),
+    ("annotate", ILLUMINA),
+    ("compress", ILLUMINA),
+)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One stacked bar of Fig. 1."""
+
+    label: str
+    fm_index_fraction: float
+    dynamic_programming_fraction: float
+    other_fraction: float
+    run: ApplicationRun
+
+
+def run_fig1(
+    genome_length: int = 30_000, read_count: int = 12, seed: int = 0
+) -> list[BreakdownRow]:
+    """Produce the Fig. 1 execution-time breakdown rows."""
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    model = default_breakdown_model()
+    rows = []
+    for application, profile in FIG1_COLUMNS:
+        read_length = 101 if profile is ILLUMINA else 400
+        work = run_application(
+            application,
+            reference,
+            profile,
+            read_count=read_count,
+            read_length=read_length,
+            seed=seed,
+        )
+        run = model.breakdown(application, reference.name, work)
+        total = max(run.total_seconds, 1e-12)
+        rows.append(
+            BreakdownRow(
+                label=f"{application}-{profile.name}",
+                fm_index_fraction=run.fm_index_seconds / total,
+                dynamic_programming_fraction=run.dynamic_programming_seconds / total,
+                other_fraction=run.other_seconds / total,
+                run=run,
+            )
+        )
+    return rows
+
+
+def format_fig1(rows: list[BreakdownRow]) -> str:
+    """Render the rows as the paper-style table."""
+    lines = ["Fig. 1 - execution time breakdown (fractions)"]
+    lines.append(f"{'workload':26s} {'FM-Index':>9s} {'DynPro':>8s} {'Other':>8s}")
+    for row in rows:
+        lines.append(
+            f"{row.label:26s} {row.fm_index_fraction:9.2f} "
+            f"{row.dynamic_programming_fraction:8.2f} {row.other_fraction:8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Figs. 19 and 20 — application speedup and energy with EXMA.
+
+Fig. 19 reports whole-application speedup (normalised to the CPU) when the
+FM-Index searches run on EXMA: the speedup follows Amdahl's law from the
+application's FM-Index time fraction (measured in the Fig. 1 experiment)
+and the search speedup (measured in the Fig. 18 experiment).
+
+Fig. 20 reports the corresponding energy, broken into DRAM chip, DRAM I/O,
+accelerator dynamic, accelerator leakage and CPU energy; the CPU baseline
+burns its full power for the whole run while the EXMA system idles the CPU
+during searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.metrics import ApplicationRun, geometric_mean
+from ..apps.pipeline import application_energy, default_breakdown_model, run_application
+from ..genome.datasets import build_dataset
+from ..genome.reads import ILLUMINA, ONT_2D, PACBIO, ErrorProfile
+from ..hw.energy import SystemEnergyBreakdown
+
+#: Workload columns shared by Figs. 19 and 20.
+WORKLOADS: tuple[tuple[str, ErrorProfile], ...] = (
+    ("alignment", ILLUMINA),
+    ("assembly", ILLUMINA),
+    ("alignment", ONT_2D),
+    ("assembly", ONT_2D),
+    ("alignment", PACBIO),
+    ("assembly", PACBIO),
+    ("annotate", ILLUMINA),
+    ("compress", ILLUMINA),
+)
+
+
+@dataclass(frozen=True)
+class ApplicationOutcome:
+    """Speedup and energy of one workload on one dataset."""
+
+    workload: str
+    dataset: str
+    run: ApplicationRun
+    speedup: float
+    baseline_energy: SystemEnergyBreakdown
+    exma_energy: SystemEnergyBreakdown
+
+    @property
+    def normalised_energy(self) -> float:
+        """EXMA system energy relative to the CPU baseline."""
+        return self.exma_energy.total_j / max(self.baseline_energy.total_j, 1e-12)
+
+
+@dataclass(frozen=True)
+class Fig19_20Result:
+    """All workload/dataset outcomes plus geometric means."""
+
+    outcomes: list[ApplicationOutcome]
+    search_speedup: float
+
+    def gmean_speedup(self, dataset: str | None = None) -> float:
+        """Geometric-mean application speedup (Fig. 19's gmean column)."""
+        values = [
+            o.speedup for o in self.outcomes if dataset is None or o.dataset == dataset
+        ]
+        return geometric_mean(values)
+
+    def gmean_energy(self, dataset: str | None = None) -> float:
+        """Geometric-mean normalised energy (Fig. 20's gmean column)."""
+        values = [
+            o.normalised_energy
+            for o in self.outcomes
+            if dataset is None or o.dataset == dataset
+        ]
+        return geometric_mean(values)
+
+
+def run_fig19_20(
+    search_speedup: float = 23.6,
+    datasets: tuple[str, ...] = ("human", "picea", "pinus"),
+    genome_length: int = 20_000,
+    read_count: int = 8,
+    seed: int = 0,
+) -> Fig19_20Result:
+    """Run the application workloads and derive speedup and energy.
+
+    ``search_speedup`` is the FM-Index search speedup of EXMA over the CPU
+    (pass the measured Fig. 18 value to couple the experiments; the default
+    is the paper's 23.6x).
+    """
+    model = default_breakdown_model()
+    outcomes = []
+    for dataset_index, dataset in enumerate(datasets):
+        reference = build_dataset(dataset, simulated_length=genome_length, seed=seed + dataset_index)
+        for application, profile in WORKLOADS:
+            read_length = 101 if profile is ILLUMINA else 300
+            work = run_application(
+                application,
+                reference,
+                profile,
+                read_count=read_count,
+                read_length=read_length,
+                seed=seed,
+            )
+            run = model.breakdown(application, dataset, work)
+            speedup = run.speedup_with_search_speedup(search_speedup)
+            baseline, exma = application_energy(run, search_speedup)
+            outcomes.append(
+                ApplicationOutcome(
+                    workload=f"{application}-{profile.name}",
+                    dataset=dataset,
+                    run=run,
+                    speedup=speedup,
+                    baseline_energy=baseline,
+                    exma_energy=exma,
+                )
+            )
+    return Fig19_20Result(outcomes=outcomes, search_speedup=search_speedup)
+
+
+def format_fig19(result: Fig19_20Result) -> str:
+    """Render the speedup table."""
+    lines = ["Fig. 19 - application speedup over CPU"]
+    for outcome in result.outcomes:
+        lines.append(f"{outcome.dataset:7s} {outcome.workload:22s} {outcome.speedup:6.2f}x")
+    lines.append(f"gmean {result.gmean_speedup():.2f}x")
+    return "\n".join(lines)
+
+
+def format_fig20(result: Fig19_20Result) -> str:
+    """Render the normalised-energy table."""
+    lines = ["Fig. 20 - energy normalised to CPU baseline"]
+    for outcome in result.outcomes:
+        lines.append(
+            f"{outcome.dataset:7s} {outcome.workload:22s} {outcome.normalised_energy:6.2f}"
+        )
+    lines.append(f"gmean {result.gmean_energy():.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""FASTA / FASTQ input and output.
+
+Minimal, dependency-free readers and writers covering the formats the
+pipeline touches: references are stored as FASTA, simulated reads as FASTQ
+(with quality strings derived from the simulator's per-base error
+probabilities).  The parsers are deliberately strict — malformed records
+raise :class:`FormatError` rather than being silently skipped — because a
+truncated reference would invalidate every downstream index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .alphabet import validate
+
+
+class FormatError(ValueError):
+    """Raised when a FASTA/FASTQ stream is malformed."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """A single FASTA record: a name line and its sequence."""
+
+    name: str
+    sequence: str
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """A single FASTQ record: name, sequence, and a quality string."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise FormatError(
+                f"sequence/quality length mismatch for read {self.name!r}: "
+                f"{len(self.sequence)} vs {len(self.quality)}"
+            )
+
+
+def _open_for_read(path: str | Path) -> TextIO:
+    return open(Path(path), "r", encoding="ascii")
+
+
+def parse_fasta(stream: Iterable[str]) -> Iterator[FastaRecord]:
+    """Parse FASTA records from an iterable of lines."""
+    name: str | None = None
+    chunks: list[str] = []
+    for raw in stream:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name=name, sequence="".join(chunks))
+            name = line[1:].strip()
+            if not name:
+                raise FormatError("FASTA header with empty name")
+            chunks = []
+        else:
+            if name is None:
+                raise FormatError("FASTA sequence data before any header")
+            chunks.append(line.strip().upper())
+    if name is not None:
+        yield FastaRecord(name=name, sequence="".join(chunks))
+
+
+def read_fasta(path: str | Path) -> list[FastaRecord]:
+    """Read all FASTA records from *path*."""
+    with _open_for_read(path) as handle:
+        return list(parse_fasta(handle))
+
+
+def write_fasta(path: str | Path, records: Iterable[FastaRecord], width: int = 70) -> None:
+    """Write FASTA *records* to *path*, wrapping sequences at *width*."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    with open(Path(path), "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f">{record.name}\n")
+            seq = record.sequence
+            for i in range(0, len(seq), width):
+                handle.write(seq[i : i + width] + "\n")
+
+
+def parse_fastq(stream: Iterable[str]) -> Iterator[FastqRecord]:
+    """Parse FASTQ records from an iterable of lines."""
+    lines = iter(stream)
+    while True:
+        try:
+            header = next(lines).rstrip("\n")
+        except StopIteration:
+            return
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise FormatError(f"expected '@' header line, got {header!r}")
+        try:
+            sequence = next(lines).rstrip("\n")
+            plus = next(lines).rstrip("\n")
+            quality = next(lines).rstrip("\n")
+        except StopIteration as exc:
+            raise FormatError("truncated FASTQ record") from exc
+        if not plus.startswith("+"):
+            raise FormatError(f"expected '+' separator line, got {plus!r}")
+        yield FastqRecord(name=header[1:].strip(), sequence=sequence.upper(), quality=quality)
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Read all FASTQ records from *path*."""
+    with _open_for_read(path) as handle:
+        return list(parse_fastq(handle))
+
+
+def write_fastq(path: str | Path, records: Iterable[FastqRecord]) -> None:
+    """Write FASTQ *records* to *path*."""
+    with open(Path(path), "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{record.quality}\n")
+
+
+def validate_reference_record(record: FastaRecord) -> None:
+    """Check that a FASTA record is a usable DNA reference."""
+    if not record.sequence:
+        raise FormatError(f"reference {record.name!r} has an empty sequence")
+    validate(record.sequence)

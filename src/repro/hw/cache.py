@@ -1,0 +1,110 @@
+"""Set-associative caches for the EXMA accelerator.
+
+The accelerator integrates two on-chip caches (Table I): a 1 MB 8-way
+eDRAM *base cache* holding EXMA base entries and a 32 KB 16-way SRAM
+*index cache* holding MTL index nodes.  Both are modelled as classic
+set-associative LRU caches over abstract line addresses; the 2-stage
+scheduling experiments (Fig. 15/16/18) are entirely about how request
+ordering changes these caches' hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class SetAssociativeCache:
+    """A set-associative cache with LRU replacement over line addresses.
+
+    Args:
+        capacity_bytes: total cache capacity.
+        line_bytes: bytes per cache line.
+        associativity: ways per set.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64, associativity: int = 8) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("capacity, line size and associativity must be positive")
+        if capacity_bytes % (line_bytes * associativity) != 0:
+            raise ValueError("capacity must be a multiple of line_bytes * associativity")
+        self._line_bytes = line_bytes
+        self._associativity = associativity
+        self._num_sets = capacity_bytes // (line_bytes * associativity)
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self._num_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self._num_sets * self._associativity * self._line_bytes
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size in bytes."""
+        return self._line_bytes
+
+    @property
+    def associativity(self) -> int:
+        """Ways per set."""
+        return self._associativity
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self._num_sets
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self._line_bytes
+        return line % self._num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; returns True on hit.  Misses allocate."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[tag] = None
+        if len(ways) > self._associativity:
+            ways.popitem(last=False)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding *address* is currently cached."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        """Invalidate every line (the paper flushes EXMA data from the CPU
+        hierarchy before searches start; the accelerator caches start cold)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching contents."""
+        self.stats = CacheStats()

@@ -1,0 +1,303 @@
+"""Transaction-level DDR4 main-memory timing model.
+
+The paper evaluates every accelerator against the same DDR4-2400 main
+memory (Table I: 4 channels, 3 DIMMs/channel, 4 ranks/DIMM, 16 chips/rank,
+2 KB rows, tRCD-tCAS-tRP = 16-16-16) and argues entirely in terms of row
+activations, row-buffer hits, data-bus occupancy and address-bus
+contention.  This model captures exactly those effects:
+
+* per-bank row-buffer state with open-, close- and *dynamic*-page policies
+  (the EXMA controller keeps a row open only while a second request to the
+  same k-mer is pending — Section IV-C3);
+* a per-channel command/address bus where every PRE/ACT/RD command takes
+  one slot, which is what throttles MEDAL's chip-level parallelism
+  (Fig. 7);
+* a per-channel data bus whose busy fraction is the bandwidth-utilisation
+  metric of Fig. 21;
+* activation / read / precharge / background energy in the style of
+  DRAMPower.
+
+The model is intentionally transaction-level, not cycle-accurate gem5 +
+DRAMsim2; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: DDR4 burst length in bytes for a 64-bit channel (BL8).
+BURST_BYTES = 64
+
+
+class PagePolicy(enum.Enum):
+    """Row-buffer management policy."""
+
+    CLOSE = "close"
+    OPEN = "open"
+    DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class DDR4Config:
+    """Geometry and timing of the DDR4-2400 main memory (Table I)."""
+
+    channels: int = 4
+    dimms_per_channel: int = 3
+    ranks_per_dimm: int = 4
+    chips_per_rank: int = 16
+    bank_groups_per_rank: int = 2
+    banks_per_group: int = 2
+    row_bytes: int = 2048
+    trcd: int = 16
+    tcas: int = 16
+    trp: int = 16
+    clock_mhz: float = 1200.0
+    bus_bytes_per_cycle: int = 16  # 64-bit bus, double data rate
+    address_bus_bits: int = 17
+
+    def __post_init__(self) -> None:
+        if min(
+            self.channels,
+            self.dimms_per_channel,
+            self.ranks_per_dimm,
+            self.chips_per_rank,
+            self.bank_groups_per_rank,
+            self.banks_per_group,
+            self.row_bytes,
+        ) <= 0:
+            raise ValueError("all geometry parameters must be positive")
+        if min(self.trcd, self.tcas, self.trp) < 0:
+            raise ValueError("timings must be non-negative")
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Independently schedulable banks on one channel."""
+        return (
+            self.dimms_per_channel
+            * self.ranks_per_dimm
+            * self.bank_groups_per_rank
+            * self.banks_per_group
+        )
+
+    @property
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate peak data-bus bandwidth across channels."""
+        return self.channels * self.bus_bytes_per_cycle
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Aggregate peak bandwidth in GB/s."""
+        return self.peak_bandwidth_bytes_per_cycle * self.clock_mhz * 1e6 / 1e9
+
+    @property
+    def total_capacity_gb(self) -> int:
+        """Main-memory capacity in GB (Table I lists 384 GB)."""
+        return 384
+
+    def burst_cycles(self, nbytes: int) -> int:
+        """Data-bus cycles needed to transfer *nbytes*."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        return max(1, -(-nbytes // self.bus_bytes_per_cycle))
+
+
+@dataclass(frozen=True)
+class DRAMEnergyModel:
+    """Per-event DRAM energy in nanojoules (DRAMPower-style constants)."""
+
+    activate_nj: float = 2.7
+    precharge_nj: float = 1.7
+    read_per_64b_nj: float = 4.2
+    write_per_64b_nj: float = 4.6
+    background_nw_per_cycle: float = 35.0
+
+    def access_energy_nj(self, activations: int, reads_64b: int, precharges: int, cycles: int) -> float:
+        """Total energy for a window of activity."""
+        return (
+            activations * self.activate_nj
+            + precharges * self.precharge_nj
+            + reads_64b * self.read_per_64b_nj
+            + cycles * self.background_nw_per_cycle * 1e-3
+        )
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One DRAM read request.
+
+    ``row`` is a global row identifier; the model derives channel and bank
+    from it.  ``nbytes`` is the payload actually needed by the requester
+    (the data bus still moves whole bursts).  ``keep_open_hint`` is set by
+    the EXMA controller when a second request to the same row is already
+    pending (dynamic page policy); ``stream`` identifies the independent
+    request stream (query) the request belongs to, which determines how
+    much latency can be overlapped.
+    """
+
+    row: int
+    nbytes: int = BURST_BYTES
+    keep_open_hint: bool = False
+    stream: int = 0
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate results of replaying a request trace."""
+
+    requests: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activations: int = 0
+    precharges: int = 0
+    bytes_transferred: int = 0
+    data_bus_busy_cycles: int = 0
+    address_bus_busy_cycles: int = 0
+    total_cycles: int = 0
+    energy_nj: float = 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit an open row."""
+        if self.requests == 0:
+            return 0.0
+        return self.row_hits / self.requests
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of data-bus cycles carrying useful data (Fig. 21)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return min(1.0, self.data_bus_busy_cycles / self.total_cycles)
+
+    def seconds(self, clock_mhz: float) -> float:
+        """Wall-clock time of the window at the given DRAM clock."""
+        if clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        return self.total_cycles / (clock_mhz * 1e6)
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    ready_cycle: int = 0
+
+
+class DRAMModel:
+    """Replays an ordered stream of :class:`MemoryRequest` on one channel.
+
+    The model serialises command and data bus usage, lets banks overlap
+    their row-cycle latencies, and applies the configured page policy.
+    Only one channel is modelled explicitly; the accelerator layer shards
+    traffic across channels and aggregates.
+    """
+
+    def __init__(
+        self,
+        config: DDR4Config | None = None,
+        page_policy: PagePolicy = PagePolicy.CLOSE,
+        energy_model: DRAMEnergyModel | None = None,
+        chip_level_parallelism: bool = False,
+    ) -> None:
+        self._config = config or DDR4Config()
+        self._policy = page_policy
+        self._energy = energy_model or DRAMEnergyModel()
+        self._chip_parallel = chip_level_parallelism
+
+    @property
+    def config(self) -> DDR4Config:
+        """The DDR4 configuration in use."""
+        return self._config
+
+    @property
+    def page_policy(self) -> PagePolicy:
+        """The configured page policy."""
+        return self._policy
+
+    def process(self, requests: list[MemoryRequest]) -> DRAMStats:
+        """Replay *requests* in order and return aggregate statistics."""
+        cfg = self._config
+        stats = DRAMStats()
+        banks = [_BankState() for _ in range(cfg.banks_per_channel)]
+        addr_bus_free = 0
+        data_bus_free = 0
+        stream_ready: dict[int, int] = {}
+
+        for request in requests:
+            if request.nbytes <= 0:
+                raise ValueError("request nbytes must be positive")
+            bank_index = request.row % cfg.banks_per_channel
+            bank = banks[bank_index]
+            stats.requests += 1
+
+            earliest = max(bank.ready_cycle, stream_ready.get(request.stream, 0))
+
+            # Command sequence and its address-bus slots.
+            commands = 1  # RD / partial-row column access
+            latency = cfg.tcas
+            if bank.open_row is None:
+                commands += 1  # ACT
+                latency += cfg.trcd
+                stats.row_misses += 1
+                stats.activations += 1
+            elif bank.open_row == request.row:
+                stats.row_hits += 1
+            else:
+                commands += 2  # PRE + ACT
+                latency += cfg.trp + cfg.trcd
+                stats.row_conflicts += 1
+                stats.activations += 1
+                stats.precharges += 1
+
+            # MEDAL-style chip-level parallelism issues one command pair per
+            # chip access; the partial-row payload is smaller but the
+            # shared 17-bit address bus still carries every command.
+            issue = max(earliest, addr_bus_free)
+            addr_bus_free = issue + commands
+            stats.address_bus_busy_cycles += commands
+
+            burst = cfg.burst_cycles(request.nbytes)
+            data_start = max(issue + latency, data_bus_free)
+            data_end = data_start + burst
+            data_bus_free = data_end
+            stats.data_bus_busy_cycles += burst
+            stats.bytes_transferred += request.nbytes
+
+            # Page-policy handling decides the bank's next state.
+            close_now = self._should_close(request)
+            if close_now:
+                bank.open_row = None
+                bank.ready_cycle = data_end + cfg.trp
+                stats.precharges += 1
+            else:
+                bank.open_row = request.row
+                bank.ready_cycle = data_end
+
+            stream_ready[request.stream] = data_end
+            stats.total_cycles = max(stats.total_cycles, data_end)
+
+        reads_64b = max(1, stats.bytes_transferred // BURST_BYTES)
+        stats.energy_nj = self._energy.access_energy_nj(
+            stats.activations, reads_64b, stats.precharges, stats.total_cycles
+        )
+        return stats
+
+    def _should_close(self, request: MemoryRequest) -> bool:
+        """Whether the row is precharged right after this access."""
+        if self._policy is PagePolicy.CLOSE:
+            return True
+        if self._policy is PagePolicy.OPEN:
+            return False
+        return not request.keep_open_hint
+
+
+def rows_for_bytes(offset: int, nbytes: int, row_bytes: int) -> list[int]:
+    """Row identifiers touched by a byte range (helper for trace builders)."""
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    if row_bytes <= 0:
+        raise ValueError("row_bytes must be positive")
+    first = offset // row_bytes
+    last = (offset + nbytes - 1) // row_bytes
+    return list(range(first, last + 1))

@@ -1,0 +1,111 @@
+"""Request schedulers: FR-FCFS baseline and EXMA's 2-stage scheduling.
+
+Prior FM-Index accelerators schedule requests First-Ready First-Come-
+First-Serve, which ignores the data the requests carry.  EXMA's 2-stage
+scheduler (Section IV-C2) instead reorders the requests resident in its
+CAM:
+
+* stage 1 sorts by k-mer, so consecutively issued requests touch adjacent
+  base-array entries and the *base cache* hit rate rises;
+* stage 2 sorts by ``pos``, so consecutive MTL-index inferences reuse the
+  same index nodes and the *index cache* hit rate rises.
+
+Both schedulers operate on batches bounded by the CAM capacity: requests
+that do not fit are scheduled in a later batch, which is what limits the
+256-entry CAM configuration in Fig. 22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exma.search import OccRequest
+from .cam import CamConfig, SchedulingQueue
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """One batch of requests in the order the accelerator will issue them.
+
+    ``stage1`` is the order used for base-cache accesses (after the k-mer
+    sort for the 2-stage scheduler); ``stage2`` is the order used for
+    index-cache accesses and inference (after the pos sort).  FR-FCFS uses
+    the arrival order for both.
+    """
+
+    stage1: tuple[OccRequest, ...]
+    stage2: tuple[OccRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.stage1)
+
+
+class FrFcfsScheduler:
+    """First-come-first-serve batching (the baseline policy)."""
+
+    def __init__(self, cam_config: CamConfig | None = None) -> None:
+        self._cam_config = cam_config or CamConfig()
+
+    @property
+    def batch_size(self) -> int:
+        """Requests per batch (bounded by the CAM capacity)."""
+        return self._cam_config.entries
+
+    def schedule(self, requests: Iterable[OccRequest]) -> Iterator[ScheduledBatch]:
+        """Yield batches in arrival order."""
+        batch: list[OccRequest] = []
+        for request in requests:
+            batch.append(request)
+            if len(batch) >= self.batch_size:
+                ordered = tuple(batch)
+                yield ScheduledBatch(stage1=ordered, stage2=ordered)
+                batch = []
+        if batch:
+            ordered = tuple(batch)
+            yield ScheduledBatch(stage1=ordered, stage2=ordered)
+
+
+class TwoStageScheduler:
+    """EXMA's 2-stage scheduler backed by the sorting CAM."""
+
+    def __init__(self, cam_config: CamConfig | None = None) -> None:
+        self._cam_config = cam_config or CamConfig()
+
+    @property
+    def batch_size(self) -> int:
+        """Requests per batch (bounded by the CAM capacity)."""
+        return self._cam_config.entries
+
+    def schedule(self, requests: Iterable[OccRequest]) -> Iterator[ScheduledBatch]:
+        """Yield batches with stage-1 (k-mer) and stage-2 (pos) orderings."""
+        queue = SchedulingQueue(self._cam_config)
+        pending = list(requests)
+        index = 0
+        while index < len(pending) or len(queue) > 0:
+            while not queue.full and index < len(pending):
+                queue.push(pending[index])
+                index += 1
+            queue.sort_by_kmer()
+            stage1 = tuple(queue.peek())
+            queue.sort_by_pos()
+            stage2 = tuple(queue.drain())
+            yield ScheduledBatch(stage1=stage1, stage2=stage2)
+
+
+def pair_requests_by_kmer(batch: tuple[OccRequest, ...]) -> list[tuple[OccRequest, bool]]:
+    """Annotate each request with a keep-row-open hint (dynamic page policy).
+
+    The EXMA controller keeps a DRAM row open after a request when another
+    pending request in the scheduling queue targets the same k-mer (the
+    low/high pair of one search iteration).  The hint is True when the
+    *next* request with the same k-mer is still pending in the batch.
+    """
+    remaining: dict[int, int] = {}
+    for request in batch:
+        remaining[request.packed_kmer] = remaining.get(request.packed_kmer, 0) + 1
+    annotated = []
+    for request in batch:
+        remaining[request.packed_kmer] -= 1
+        annotated.append((request, remaining[request.packed_kmer] > 0))
+    return annotated

@@ -1,0 +1,74 @@
+"""Sampled suffix array for the ``locate`` step.
+
+The final step of every FM-Index search converts BW-matrix rows back to
+reference positions via ``SA[row]`` (line 7 of Fig. 3(d)).  Storing the
+full suffix array costs ``|G| * ceil(log2 |G|)`` bits; production indexes
+sample every r-th entry and recover the rest by walking the LF mapping.
+This module provides that sampled structure plus its analytic size model,
+which contributes the "SA" series of Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class SampledSuffixArray:
+    """Suffix-array samples at a fixed rank interval.
+
+    Args:
+        sa: the full suffix array.
+        sample_rate: keep every ``sample_rate``-th entry (by rank).
+    """
+
+    def __init__(self, sa: np.ndarray, sample_rate: int = 32) -> None:
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        sa = np.asarray(sa, dtype=np.int64)
+        if sa.ndim != 1 or sa.size == 0:
+            raise ValueError("sa must be a non-empty 1-D array")
+        self._sample_rate = sample_rate
+        self._n = int(sa.size)
+        self._samples = sa[::sample_rate].copy()
+
+    @property
+    def sample_rate(self) -> int:
+        """Rank distance between retained samples."""
+        return self._sample_rate
+
+    @property
+    def sample_count(self) -> int:
+        """Number of retained samples."""
+        return int(self._samples.size)
+
+    def is_sampled(self, row: int) -> bool:
+        """Whether ``SA[row]`` is stored directly."""
+        self._check_row(row)
+        return row % self._sample_rate == 0
+
+    def get_sampled(self, row: int) -> int:
+        """Return ``SA[row]`` for a sampled row; raise otherwise."""
+        if not self.is_sampled(row):
+            raise KeyError(f"row {row} is not sampled (rate {self._sample_rate})")
+        return int(self._samples[row // self._sample_rate])
+
+    def _check_row(self, row: int) -> None:
+        if row < 0 or row >= self._n:
+            raise IndexError(f"row {row} out of range [0, {self._n})")
+
+    def storage_bytes(self) -> int:
+        """Bytes used by the retained samples (8 bytes per entry)."""
+        return self.sample_count * 8
+
+
+def sampled_sa_size_bytes(genome_length: int, sample_rate: int = 32) -> int:
+    """Analytic sampled-SA size for a paper-scale genome."""
+    if genome_length <= 0:
+        raise ValueError("genome_length must be positive")
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    entries = math.ceil((genome_length + 1) / sample_rate)
+    bytes_per_entry = math.ceil(math.ceil(math.log2(genome_length + 1)) / 8)
+    return entries * bytes_per_entry

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_NAMES, build_parser, main
+from repro.genome.io import FastaRecord, write_fasta
+from repro.genome.sequence import random_genome
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_arguments(self):
+        args = build_parser().parse_args(["search", "--queries", "ACGT", "--step", "4"])
+        assert args.command == "search"
+        assert args.queries == ["ACGT"]
+        assert args.step == 4
+
+    def test_experiment_choices(self):
+        for name in EXPERIMENT_NAMES:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.genome_length == 3_000_000_000
+        assert args.step == 15
+
+
+class TestSearchCommand:
+    def test_search_synthetic_genome(self, capsys):
+        genome = random_genome(2000, seed=5)
+        query = genome[100:116]
+        exit_code = main(
+            [
+                "search",
+                "--genome-length",
+                "2000",
+                "--seed",
+                "5",
+                "--step",
+                "4",
+                "--no-index",
+                "--queries",
+                query,
+                "ACGTACGTACGTACGT",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert query in captured
+        assert "occurrence" in captured
+
+    def test_search_fasta_reference(self, tmp_path, capsys):
+        genome = random_genome(1500, seed=6)
+        path = tmp_path / "ref.fa"
+        write_fasta(path, [FastaRecord("chr", genome)])
+        exit_code = main(
+            ["search", "--reference", str(path), "--step", "4", "--no-index",
+             "--queries", genome[200:212]]
+        )
+        assert exit_code == 0
+        assert "1 occurrence" in capsys.readouterr().out or "occurrence" in ""
+
+
+class TestInfoCommand:
+    def test_info_prints_sizes(self, capsys):
+        exit_code = main(["info", "--genome-length", "3000000000", "--step", "15"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "increments" in out
+        assert "GB" in out
+
+
+class TestExperimentCommand:
+    def test_fig21_runs(self, capsys):
+        exit_code = main(["experiment", "fig21"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EXMA" in out
+
+    def test_table2_runs(self, capsys):
+        exit_code = main(["experiment", "table2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MEDAL" in out
+
+    def test_fig13_runs_small(self, capsys):
+        exit_code = main(["experiment", "fig13", "--genome-length", "6000"])
+        assert exit_code == 0
+        assert "MTL" in capsys.readouterr().out

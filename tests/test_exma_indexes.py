@@ -1,0 +1,166 @@
+"""Unit tests for the naive learned index and the MTL index over EXMA tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exma.learned_index import NaiveLearnedIndex
+from repro.exma.mtl_index import MTLIndex, SharedNode
+from repro.exma.table import ExmaTable
+from repro.genome.sequence import RepeatProfile, random_genome
+
+
+@pytest.fixture(scope="module")
+def repeat_table() -> ExmaTable:
+    """A repeat-rich reference so several k-mers have many increments."""
+    genome = random_genome(
+        4000, repeat_profile=RepeatProfile(repeat_fraction=0.7, repeat_unit_length=120), seed=11
+    )
+    return ExmaTable(genome, k=3)
+
+
+@pytest.fixture(scope="module")
+def naive_index(repeat_table) -> NaiveLearnedIndex:
+    return NaiveLearnedIndex(repeat_table, model_threshold=8, increments_per_leaf=64)
+
+
+@pytest.fixture(scope="module")
+def mtl(repeat_table) -> MTLIndex:
+    return MTLIndex(repeat_table, model_threshold=8, samples_per_kmer=32, epochs=80, seed=0)
+
+
+class TestNaiveLearnedIndex:
+    def test_models_built_for_heavy_kmers(self, naive_index, repeat_table):
+        assert naive_index.modelled_kmers
+        for packed in naive_index.modelled_kmers:
+            assert repeat_table.frequency(packed) > 8
+
+    def test_lookup_returns_exact_occ(self, naive_index, repeat_table):
+        for packed in naive_index.modelled_kmers[:5]:
+            for pos in (0, 100, 1000, repeat_table.reference_length):
+                true_index, error = naive_index.lookup(packed, pos)
+                assert true_index == repeat_table.occ(packed, pos)
+                assert error >= 0
+
+    def test_prediction_clamped_to_valid_range(self, naive_index, repeat_table):
+        for packed in naive_index.modelled_kmers[:5]:
+            count = repeat_table.frequency(packed)
+            assert 0 <= naive_index.predict(packed, repeat_table.reference_length) < count
+
+    def test_unmodelled_kmer_falls_back_to_exact(self, naive_index, repeat_table):
+        light = [p for p in repeat_table.present_kmers() if not naive_index.has_model(p)]
+        if not light:
+            pytest.skip("all k-mers modelled")
+        packed = light[0]
+        assert naive_index.predict(packed, 500) == repeat_table.occ(packed, 500)
+
+    def test_parameter_count_positive(self, naive_index):
+        assert naive_index.parameter_count >= 4 * len(naive_index.modelled_kmers)
+
+    def test_more_leaves_with_smaller_ratio(self, repeat_table):
+        coarse = NaiveLearnedIndex(repeat_table, model_threshold=8, increments_per_leaf=4096)
+        fine = NaiveLearnedIndex(repeat_table, model_threshold=8, increments_per_leaf=16)
+        assert fine.parameter_count > coarse.parameter_count
+
+    def test_errors_array_shape(self, naive_index):
+        errors = naive_index.prediction_errors(samples_per_kmer=10, seed=1)
+        assert errors.size == 10 * len(naive_index.modelled_kmers)
+        assert np.all(errors >= 0)
+
+    def test_error_stats(self, naive_index):
+        stats = naive_index.error_stats(seed=2)
+        assert stats.mean_error >= 0
+        assert stats.max_error >= stats.percentile_75 >= stats.percentile_25
+
+    def test_invalid_parameters_raise(self, repeat_table):
+        with pytest.raises(ValueError):
+            NaiveLearnedIndex(repeat_table, model_threshold=-1)
+        with pytest.raises(ValueError):
+            NaiveLearnedIndex(repeat_table, increments_per_leaf=0)
+
+
+class TestSharedNode:
+    def test_forward_shape(self):
+        node = SharedNode()
+        node.train(
+            np.random.default_rng(0).uniform(size=(200, 2)),
+            np.linspace(0, 1, 200),
+            np.full(200, 1 / 200),
+            epochs=50,
+        )
+        out = node.forward(np.array([[0.5, 0.1], [0.9, 0.1]]))
+        assert out.shape == (2,)
+
+    def test_training_reduces_error(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(size=(400, 2))
+        targets = features[:, 0] ** 2
+        weights = np.full(400, 1 / 400)
+        node = SharedNode()
+        node.train(features, targets, weights, epochs=5, seed=3)
+        early = float(np.mean((node.forward(features) - targets) ** 2))
+        node.train(features, targets, weights, epochs=400, seed=3)
+        late = float(np.mean((node.forward(features) - targets) ** 2))
+        assert late <= early
+
+    def test_parameter_count(self):
+        assert SharedNode().parameter_count == 2 * 10 + 10 + 10 + 1
+
+
+class TestMTLIndex:
+    def test_leaves_cover_heavy_kmers(self, mtl, repeat_table):
+        assert mtl.modelled_kmers
+        for packed in mtl.modelled_kmers:
+            assert repeat_table.frequency(packed) > 8
+
+    def test_lookup_returns_exact_occ(self, mtl, repeat_table):
+        for packed in mtl.modelled_kmers[:5]:
+            for pos in (0, 500, 2000, repeat_table.reference_length):
+                true_index, error = mtl.lookup(packed, pos)
+                assert true_index == repeat_table.occ(packed, pos)
+                assert error >= 0
+
+    def test_prediction_within_range(self, mtl, repeat_table):
+        for packed in mtl.modelled_kmers[:5]:
+            count = repeat_table.frequency(packed)
+            prediction = mtl.predict(packed, repeat_table.reference_length // 2)
+            assert 0 <= prediction < count
+
+    def test_shared_nodes_exist(self, mtl):
+        assert mtl.shared_node_count >= 1
+
+    def test_parameter_sharing_shrinks_index(self, mtl, naive_index):
+        # The MTL index shares its non-leaf parameters, so per modelled
+        # k-mer it needs far fewer parameters than the naive index.
+        mtl_per_kmer = mtl.parameter_count / max(1, len(mtl.modelled_kmers))
+        naive_per_kmer = naive_index.parameter_count / max(1, len(naive_index.modelled_kmers))
+        assert mtl_per_kmer < naive_per_kmer
+
+    def test_errors_not_catastrophic(self, mtl, repeat_table):
+        errors = mtl.prediction_errors(samples_per_kmer=20, seed=4)
+        heaviest = max(repeat_table.frequency(p) for p in mtl.modelled_kmers)
+        assert errors.mean() < heaviest
+
+    def test_node_ids_for_modelled_kmer(self, mtl):
+        packed = mtl.modelled_kmers[0]
+        node_ids = mtl.node_ids_for(packed)
+        assert len(node_ids) == 2
+
+    def test_node_ids_for_unmodelled_kmer(self, mtl, repeat_table):
+        light = [p for p in repeat_table.present_kmers() if not mtl.has_model(p)]
+        if not light:
+            pytest.skip("all k-mers modelled")
+        assert mtl.node_ids_for(light[0]) == ()
+
+    def test_unmodelled_prediction_exact(self, mtl, repeat_table):
+        light = [p for p in repeat_table.present_kmers() if not mtl.has_model(p)]
+        if not light:
+            pytest.skip("all k-mers modelled")
+        assert mtl.predict(light[0], 1000) == repeat_table.occ(light[0], 1000)
+
+    def test_deterministic_with_seed(self, repeat_table):
+        a = MTLIndex(repeat_table, model_threshold=8, samples_per_kmer=16, epochs=30, seed=5)
+        b = MTLIndex(repeat_table, model_threshold=8, samples_per_kmer=16, epochs=30, seed=5)
+        packed = a.modelled_kmers[0]
+        assert a.predict(packed, 1234) == b.predict(packed, 1234)

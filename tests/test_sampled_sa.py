@@ -1,0 +1,73 @@
+"""Unit tests for repro.index.sampled_sa."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genome.sequence import random_genome
+from repro.index.sampled_sa import SampledSuffixArray, sampled_sa_size_bytes
+from repro.index.suffix_array import suffix_array
+
+
+@pytest.fixture(scope="module")
+def sa() -> np.ndarray:
+    return suffix_array(random_genome(500, seed=1))
+
+
+class TestSampledSuffixArray:
+    def test_sample_count(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=8)
+        assert sampled.sample_count == (len(sa) + 7) // 8
+
+    def test_sampled_rows_return_exact_values(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=4)
+        for row in range(0, len(sa), 4):
+            assert sampled.get_sampled(row) == sa[row]
+
+    def test_unsampled_row_raises(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=4)
+        with pytest.raises(KeyError):
+            sampled.get_sampled(1)
+
+    def test_is_sampled(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=3)
+        assert sampled.is_sampled(0)
+        assert sampled.is_sampled(3)
+        assert not sampled.is_sampled(4)
+
+    def test_out_of_range_row_raises(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=4)
+        with pytest.raises(IndexError):
+            sampled.is_sampled(len(sa))
+
+    def test_rate_one_keeps_everything(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=1)
+        assert sampled.sample_count == len(sa)
+
+    def test_invalid_rate_raises(self, sa):
+        with pytest.raises(ValueError):
+            SampledSuffixArray(sa, sample_rate=0)
+
+    def test_empty_sa_raises(self):
+        with pytest.raises(ValueError):
+            SampledSuffixArray(np.array([]), sample_rate=2)
+
+    def test_storage_bytes(self, sa):
+        sampled = SampledSuffixArray(sa, sample_rate=8)
+        assert sampled.storage_bytes() == sampled.sample_count * 8
+
+
+class TestSizeModel:
+    def test_size_shrinks_with_rate(self):
+        assert sampled_sa_size_bytes(10**9, 64) < sampled_sa_size_bytes(10**9, 8)
+
+    def test_full_sa_size_for_human(self):
+        size_gb = sampled_sa_size_bytes(3 * 10**9, 1) / 1024**3
+        assert 10 < size_gb < 14
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sampled_sa_size_bytes(0, 8)
+        with pytest.raises(ValueError):
+            sampled_sa_size_bytes(100, 0)

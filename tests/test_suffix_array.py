@@ -1,0 +1,99 @@
+"""Unit tests for repro.index.suffix_array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.sequence import random_genome
+from repro.index.suffix_array import (
+    inverse_suffix_array,
+    lcp_array,
+    naive_suffix_array,
+    suffix_array,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+class TestSuffixArray:
+    def test_paper_example(self):
+        # G = CATAGA$ from Fig. 3(a): SA = [6, 5, 3, 1, 0, 4, 2].
+        sa = suffix_array("CATAGA")
+        assert list(sa) == [6, 5, 3, 1, 0, 4, 2]
+
+    def test_matches_naive_on_random_genome(self):
+        text = random_genome(500, seed=1)
+        assert np.array_equal(suffix_array(text), naive_suffix_array(text))
+
+    def test_single_symbol(self):
+        assert list(suffix_array("A")) == [1, 0]
+
+    def test_repetitive_text(self):
+        text = "AAAA"
+        assert np.array_equal(suffix_array(text), naive_suffix_array(text))
+
+    def test_is_permutation(self):
+        sa = suffix_array(random_genome(200, seed=2))
+        assert sorted(sa) == list(range(len(sa)))
+
+    def test_suffixes_sorted(self):
+        text = random_genome(150, seed=3) + "$"
+        sa = suffix_array(text)
+        suffixes = [text[i:] for i in sa]
+        assert suffixes == sorted(suffixes)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            suffix_array("")
+
+    def test_interior_sentinel_raises(self):
+        with pytest.raises(ValueError):
+            suffix_array("AC$GT")
+
+    def test_already_terminated_not_double_terminated(self):
+        assert len(suffix_array("ACGT$")) == 5
+
+    @given(dna)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_property(self, text):
+        assert np.array_equal(suffix_array(text), naive_suffix_array(text))
+
+
+class TestInverseSuffixArray:
+    def test_inverse_relationship(self):
+        text = random_genome(120, seed=4)
+        sa = suffix_array(text)
+        isa = inverse_suffix_array(sa)
+        assert all(isa[sa[i]] == i for i in range(len(sa)))
+
+    def test_is_permutation(self):
+        sa = suffix_array(random_genome(80, seed=5))
+        assert sorted(inverse_suffix_array(sa)) == list(range(len(sa)))
+
+
+class TestLcpArray:
+    def test_first_entry_zero(self):
+        assert lcp_array("ACGTACGT")[0] == 0
+
+    def test_known_repetitive_case(self):
+        # For AAAA$, sorted suffixes are $, A$, AA$, AAA$, AAAA$ with LCPs
+        # 0, 0, 1, 2, 3.
+        assert list(lcp_array("AAAA")) == [0, 0, 1, 2, 3]
+
+    def test_lcp_matches_direct_comparison(self):
+        text = random_genome(100, seed=6) + "$"
+        sa = suffix_array(text)
+        lcp = lcp_array(text, sa)
+        for rank in range(1, len(sa)):
+            a, b = text[sa[rank - 1] :], text[sa[rank] :]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[rank] == common
+
+    def test_lcp_length_matches(self):
+        text = random_genome(60, seed=7)
+        assert len(lcp_array(text)) == len(text) + 1

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once
+from repro.testing import run_once
 from repro.accel import ExmaAccelerator, ex_2stage_config, ex_acc_config, exma_full_config
 from repro.exma import ExmaSearch, NaiveLearnedIndex
 from repro.experiments import build_workload

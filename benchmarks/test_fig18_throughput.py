@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from conftest import run_once
-from repro.experiments import format_fig18, run_fig18
+from repro.experiments import (
+    format_fig18,
+    format_fig18_batching,
+    run_fig18,
+    run_fig18_batching,
+)
+from repro.testing import run_once
 
 
 def test_fig18_search_throughput(benchmark, report):
@@ -17,3 +22,22 @@ def test_fig18_search_throughput(benchmark, report):
         assert row.exma15_software > 1.0
         assert row.ex_acc > row.exma15_software
         assert row.exma >= row.ex_acc
+        assert row.coalescing_factor >= 1.0
+
+
+def test_fig18_batched_engine_beats_sequential(report):
+    """The lockstep batched path must beat the per-query loop at batch >= 64."""
+    # best-of-5 timing damps CI-runner noise; the margin at batch >= 64 is
+    # ~2x locally, so > 1.0 keeps headroom without encoding a brittle ratio
+    rows = run_fig18_batching(
+        genome_length=20_000, seed=0, batch_sizes=(16, 64, 256), repeats=5
+    )
+    report.append("")
+    report.append(format_fig18_batching(rows))
+    for row in rows:
+        if row.batch_size >= 64:
+            assert row.speedup > 1.0, (
+                f"batched search slower than sequential at batch {row.batch_size}: "
+                f"{row.speedup:.2f}x"
+            )
+        assert row.coalescing_factor >= 1.0

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from repro.testing import run_once
 from repro.experiments import run_fig23
 
 

@@ -9,6 +9,10 @@ The package is organised bottom-up:
 * :mod:`repro.lisa` — LISA: IP-BWT plus a recursive-model learned index.
 * :mod:`repro.exma` — the paper's contribution: the EXMA table, the naive
   and MTL learned indexes, EXMA search, CHAIN and BΔI compression.
+* :mod:`repro.engine` — the batched multi-backend query engine: a
+  :class:`~repro.engine.engine.QueryEngine` advancing whole query batches
+  in lockstep through a registered search backend, with (k-mer, pos)
+  request coalescing feeding the hardware model.
 * :mod:`repro.hw` — DDR4 timing/energy, caches, the scheduling CAM,
   FR-FCFS / 2-stage schedulers and the PE-array inference engine.
 * :mod:`repro.accel` — the trace-driven EXMA accelerator model, analytic
@@ -19,8 +23,8 @@ The package is organised bottom-up:
   paper's evaluation.
 """
 
-from . import accel, apps, exma, genome, hw, index, lisa
+from . import accel, apps, engine, exma, genome, hw, index, lisa
 
 __version__ = "1.0.0"
 
-__all__ = ["accel", "apps", "exma", "genome", "hw", "index", "lisa", "__version__"]
+__all__ = ["accel", "apps", "engine", "exma", "genome", "hw", "index", "lisa", "__version__"]

@@ -151,8 +151,22 @@ class ExmaAccelerator:
     # Main replay loop
     # ------------------------------------------------------------------ #
 
-    def run(self, requests: list[OccRequest], name: str = "EXMA") -> AcceleratorRunResult:
-        """Replay *requests* and return the measured statistics."""
+    def run(
+        self,
+        requests: list[OccRequest],
+        name: str = "EXMA",
+        bases_processed: int | None = None,
+    ) -> AcceleratorRunResult:
+        """Replay *requests* and return the measured statistics.
+
+        Args:
+            requests: the Occ request stream to replay.
+            bases_processed: DNA bases the stream represents.  Defaults to
+                the pre-coalescing estimate ``len(requests) * k / 2``; pass
+                the issued-request count explicitly when replaying a
+                coalesced stream, otherwise throughput is understated by
+                the coalescing factor.
+        """
         config = self._config
         base_cache = SetAssociativeCache(
             config.base_cache_bytes, config.cache_line_bytes, config.base_cache_ways
@@ -254,7 +268,9 @@ class ExmaAccelerator:
         total_cycles = max(dram_cycles, inference_cycles)
         seconds = max(total_cycles / (dram_clock * 1e6), 1e-12)
 
-        bases = self._bases_processed(len(requests))
+        bases = (
+            bases_processed if bases_processed is not None else self._bases_processed(len(requests))
+        )
         accelerator_energy = ledger.total_energy_j(seconds) + inference_cost.energy_pj * 1e-12
         dram_energy = dram_stats.energy_nj * 1e-9
 

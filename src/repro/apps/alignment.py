@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine.backends import FMIndexBackend
 from ..genome.alphabet import reverse_complement
 from ..genome.reads import SimulatedRead
 from ..index.fmindex import FMIndex, Seed
@@ -85,6 +86,7 @@ class ReadAligner:
             raise ValueError("max_seed_hits must be positive")
         self._reference = reference
         self._fm = fm_index or FMIndex(reference)
+        self._backend = FMIndexBackend(fm_index=self._fm)
         self._min_seed = min_seed_length
         self._band = extension_band
         self._max_hits = max_seed_hits
@@ -95,21 +97,41 @@ class ReadAligner:
         """The FM-Index used for seeding."""
         return self._fm
 
+    @property
+    def backend(self) -> FMIndexBackend:
+        """The batched search backend used for batch seeding."""
+        return self._backend
+
     def align_read(
         self, read: str, name: str = "read", counters: AlignerCounters | None = None
     ) -> AlignmentResult:
-        """Align one read (both strands) and return the best alignment."""
+        """Align one read (both strands) and return the best alignment.
+
+        Thin wrapper over the batched path: seeds come from a lockstep
+        batch of the two orientations.
+        """
         if not read:
             raise ValueError("read must be non-empty")
+        oriented = (read, reverse_complement(read))
+        seeds = self._backend.maximal_exact_matches_batch(oriented, min_length=self._min_seed)
+        return self._align_from_seeds(name, oriented, seeds, counters)
+
+    def _align_from_seeds(
+        self,
+        name: str,
+        oriented: tuple[str, str],
+        oriented_seeds: list[list[Seed]],
+        counters: AlignerCounters | None,
+    ) -> AlignmentResult:
+        """Pick the best extension across both precomputed seed sets."""
         best: tuple[int, int, bool, int] | None = None  # score, pos, reverse, seeds
         for reverse in (False, True):
-            oriented = reverse_complement(read) if reverse else read
-            seeds = self._fm.maximal_exact_matches(oriented, min_length=self._min_seed)
+            read, seeds = oriented[reverse], oriented_seeds[reverse]
             if counters is not None:
                 counters.seeds += len(seeds)
-                counters.seeding_bases_searched += len(oriented)
-                counters.fm_index_iterations += len(oriented)
-            candidate = self._extend_best(oriented, seeds, counters)
+                counters.seeding_bases_searched += len(read)
+                counters.fm_index_iterations += len(read)
+            candidate = self._extend_best(read, seeds, counters)
             if candidate is not None:
                 score, position = candidate
                 if best is None or score > best[0]:
@@ -162,11 +184,31 @@ class ReadAligner:
     def align_batch(
         self, reads: list[SimulatedRead]
     ) -> tuple[list[AlignmentResult], AlignerCounters]:
-        """Align a batch of simulated reads, returning per-read results."""
+        """Align a batch of simulated reads, returning per-read results.
+
+        Seeding for the whole batch — every read, both orientations — runs
+        as one lockstep pass through the batched engine, so the Occ
+        request streams of all reads coalesce, as on the accelerator.
+        Extension then proceeds per read over the precomputed seeds;
+        results are identical to per-read :meth:`align_read`.
+        """
         counters = AlignerCounters()
-        results = []
+        oriented_all: list[str] = []
         for read in reads:
-            results.append(self.align_read(read.sequence, name=read.name, counters=counters))
+            if not read.sequence:
+                raise ValueError("read must be non-empty")
+            oriented_all.append(read.sequence)
+            oriented_all.append(reverse_complement(read.sequence))
+        seeds_all = self._backend.maximal_exact_matches_batch(
+            oriented_all, min_length=self._min_seed
+        )
+        results = []
+        for i, read in enumerate(reads):
+            oriented = (oriented_all[2 * i], oriented_all[2 * i + 1])
+            seeds = [seeds_all[2 * i], seeds_all[2 * i + 1]]
+            results.append(
+                self._align_from_seeds(read.name, oriented, seeds, counters)
+            )
         return results, counters
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine.backends import FMIndexBackend
+from ..engine.engine import QueryEngine
 from ..index.fmindex import FMIndex
 
 
@@ -37,12 +39,23 @@ class AnnotationCounters:
 
 
 class ExactWordAnnotator:
-    """Annotates a reference with exact occurrences of query words."""
+    """Annotates a reference with exact occurrences of query words.
 
-    def __init__(self, fm_index: FMIndex, max_positions_per_word: int = 1000) -> None:
+    Word batches route through the batched query engine: one lockstep
+    search over the whole word set with Occ-request coalescing, then a
+    locate per word.  Results are identical to per-word search.
+    """
+
+    def __init__(
+        self,
+        fm_index: FMIndex,
+        max_positions_per_word: int = 1000,
+        engine: QueryEngine | None = None,
+    ) -> None:
         if max_positions_per_word <= 0:
             raise ValueError("max_positions_per_word must be positive")
         self._fm = fm_index
+        self._engine = engine or QueryEngine(FMIndexBackend(fm_index=fm_index))
         self._max_positions = max_positions_per_word
 
     @property
@@ -50,23 +63,29 @@ class ExactWordAnnotator:
         """The index searched by this annotator."""
         return self._fm
 
+    @property
+    def engine(self) -> QueryEngine:
+        """The batched query engine answering word searches."""
+        return self._engine
+
     def annotate_word(self, word: str, counters: AnnotationCounters | None = None) -> WordAnnotation:
-        """Find every exact occurrence of *word*."""
-        if not word:
-            raise ValueError("word must be non-empty")
-        interval = self._fm.backward_search(word)
-        positions = tuple(self._fm.locate(interval, limit=self._max_positions))
-        if counters is not None:
-            counters.words += 1
-            counters.bases_searched += len(word)
-            counters.occurrences += len(positions)
-        return WordAnnotation(word=word, positions=positions)
+        """Find every exact occurrence of *word* (a batch of one)."""
+        return self.annotate([word], counters)[0]
 
     def annotate(
         self, words: list[str], counters: AnnotationCounters | None = None
     ) -> list[WordAnnotation]:
-        """Annotate a batch of words."""
-        return [self.annotate_word(word, counters) for word in words]
+        """Annotate a batch of words in one lockstep engine pass."""
+        positions_per_word, _ = self._engine.find_batch(words, limit=self._max_positions)
+        annotations = []
+        for word, positions in zip(words, positions_per_word):
+            annotation = WordAnnotation(word=word, positions=tuple(positions))
+            if counters is not None:
+                counters.words += 1
+                counters.bases_searched += len(word)
+                counters.occurrences += annotation.count
+            annotations.append(annotation)
+        return annotations
 
 
 def words_from_reference(reference: str, word_length: int = 24, stride: int = 512) -> list[str]:

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..accel.metrics import ApplicationRun
+from ..engine.backends import FMIndexBackend
+from ..engine.engine import QueryEngine
 from ..genome.reads import ErrorProfile, ReadSimulator
 from ..genome.sequence import Reference
 from ..hw.energy import CPU_POWER_W, DRAM_SYSTEM_POWER_W, EXMA_ACCELERATOR_LEAKAGE_W, SystemEnergyBreakdown
@@ -138,7 +140,9 @@ def run_application(
 
     if application == "annotate":
         words = words_from_reference(reference.sequence, word_length=24, stride=max(64, len(reference.sequence) // max(read_count, 1)))
-        annotator = ExactWordAnnotator(fm)
+        # Annotation's word set routes through the batched engine in one
+        # lockstep pass; alignment's seeding is batched inside ReadAligner.
+        annotator = ExactWordAnnotator(fm, engine=QueryEngine(FMIndexBackend(fm_index=fm)))
         counters = AnnotationCounters()
         annotator.annotate(words, counters)
         return WorkCounters(

@@ -22,9 +22,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from .exma.mtl_index import MTLIndex
-from .exma.search import ExmaSearch
-from .exma.table import ExmaTable, exma_size_breakdown
+from .engine import QueryEngine, available_backends
+from .exma.table import exma_size_breakdown
 from .genome.io import read_fasta
 from .genome.sequence import random_genome
 from .index.kstep import kstep_size_bytes
@@ -39,6 +38,7 @@ EXPERIMENT_NAMES = (
     "fig10",
     "fig13",
     "fig18",
+    "fig18-batching",
     "fig21",
     "fig23",
     "table2",
@@ -53,14 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    search = subparsers.add_parser("search", help="search queries with an EXMA table")
+    search = subparsers.add_parser(
+        "search", help="search a query batch through the batched query engine"
+    )
     search.add_argument("--reference", help="FASTA file with the reference (first record used)")
     search.add_argument(
         "--genome-length", type=int, default=50_000, help="synthetic genome length when no FASTA"
     )
-    search.add_argument("--step", type=int, default=6, help="EXMA step number k")
+    search.add_argument("--step", type=int, default=6, help="EXMA/LISA step number k")
     search.add_argument("--seed", type=int, default=0, help="synthetic genome seed")
-    search.add_argument("--no-index", action="store_true", help="disable the MTL index")
+    search.add_argument(
+        "--no-index",
+        action="store_true",
+        help="use exact Occ resolution (downgrades learned backends to their exact variants)",
+    )
+    search.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="search backend (default: exma-mtl, or exma with --no-index)",
+    )
     search.add_argument("--queries", nargs="+", required=True, help="DNA queries to search")
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
@@ -83,17 +95,35 @@ def _load_reference(args: argparse.Namespace) -> str:
     return random_genome(args.genome_length, seed=args.seed)
 
 
+#: --no-index downgrades of the learned backends to their exact variants.
+_EXACT_VARIANT = {"exma-mtl": "exma", "exma-learned": "exma", "lisa-learned": "lisa"}
+
+
 def _run_search(args: argparse.Namespace) -> int:
     reference = _load_reference(args)
-    table = ExmaTable(reference, k=args.step)
-    index = None if args.no_index else MTLIndex(table, model_threshold=32, epochs=100)
-    search = ExmaSearch(table, index=index)
-    print(f"reference: {len(reference):,} bp, EXMA step k={args.step}")
-    for query in args.queries:
-        interval = search.backward_search(query)
-        positions = search.find(query) if interval.count and interval.count <= 20 else []
+    backend_name = args.backend or "exma-mtl"
+    if args.no_index:
+        backend_name = _EXACT_VARIANT.get(backend_name, backend_name)
+    kwargs: dict = {}
+    if backend_name.startswith(("exma", "lisa")):
+        kwargs["k"] = args.step
+    if backend_name == "exma-mtl":
+        kwargs.update(model_threshold=32, epochs=100)
+    engine = QueryEngine.from_reference(reference, name=backend_name, **kwargs)
+    print(f"reference: {len(reference):,} bp, backend {backend_name}, step k={args.step}")
+    result = engine.search_batch(args.queries)
+    for query, interval in zip(args.queries, result.intervals):
+        positions = (
+            engine.backend.locate(interval) if interval.count and interval.count <= 20 else []
+        )
         location = f" at {positions}" if positions else ""
         print(f"  {query}: {interval.count} occurrence(s){location}")
+    stats = result.stats
+    print(
+        f"batch: {stats.queries} queries, {stats.occ_requests_issued} Occ requests"
+        f" -> {stats.occ_requests_unique} after coalescing"
+        f" ({stats.coalescing_factor:.2f}x)"
+    )
     return 0
 
 
@@ -117,6 +147,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
         print(ex.format_fig13(ex.run_fig13(genome_length=args.genome_length, seed=args.seed)))
     elif name == "fig18":
         print(ex.format_fig18(ex.run_fig18(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig18-batching":
+        print(
+            ex.format_fig18_batching(
+                ex.run_fig18_batching(genome_length=args.genome_length, seed=args.seed)
+            )
+        )
     elif name == "fig21":
         for device, value in ex.run_fig21().items():
             print(f"  {device:6s} {value * 100:5.1f}%")

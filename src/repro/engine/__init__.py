@@ -1,0 +1,37 @@
+"""Batched multi-backend query engine.
+
+The architectural seam between query producers (applications, experiment
+harnesses, the CLI) and the search structures (FM-Index, EXMA tables,
+LISA): every exact-match search goes through
+:class:`~repro.engine.engine.QueryEngine`, which batches queries, advances
+them in lockstep through a registered backend, coalesces duplicate
+``(k-mer, pos)`` Occ requests across the batch, and reports
+:class:`~repro.engine.coalesce.BatchStats` that feed the hardware model.
+"""
+
+from .backends import (
+    ExmaBackend,
+    FMIndexBackend,
+    LisaBackend,
+    SearchBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .coalesce import BatchStats, CoalescedStep, coalesce_requests
+from .engine import BatchResult, QueryEngine
+
+__all__ = [
+    "BatchResult",
+    "BatchStats",
+    "CoalescedStep",
+    "ExmaBackend",
+    "FMIndexBackend",
+    "LisaBackend",
+    "QueryEngine",
+    "SearchBackend",
+    "available_backends",
+    "coalesce_requests",
+    "create_backend",
+    "register_backend",
+]

@@ -1,0 +1,161 @@
+"""Request coalescing for batched backward search.
+
+Each lockstep iteration of a batched search issues two Occ requests per
+live query — ``(kmer, low)`` and ``(kmer, high)``.  Across a batch many of
+those pairs repeat: queries share k-mers (the k-mer working set is tiny
+compared to the batch) and queries tracking the same match share interval
+bounds.  The paper's accelerator merges duplicate requests on the DRAM
+side (Fig. 14/15) so each unique ``(kmer, pos)`` pair is resolved exactly
+once per scheduling window; :func:`coalesce_requests` is the software
+mirror of that merge, and :class:`BatchStats` records how much traffic it
+removed so the ``hw/`` cost model can replay the post-merge stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exma.search import ExmaSearchStats, OccRequest
+
+__all__ = ["BatchStats", "CoalescedStep", "coalesce_requests"]
+
+
+@dataclass(frozen=True)
+class CoalescedStep:
+    """The unique Occ requests of one lockstep iteration.
+
+    ``kmers``/``positions`` hold each unique ``(kmer, pos)`` pair once,
+    sorted by ``(kmer, pos)`` — the k-mer-major order the accelerator's
+    stage-1 scheduler wants.  ``inverse`` maps every originally issued
+    request slot back to its unique pair, so results computed once per
+    unique pair scatter back to all issuers.
+    """
+
+    kmers: np.ndarray
+    positions: np.ndarray
+    inverse: np.ndarray
+    issued: int
+
+    @property
+    def unique(self) -> int:
+        """Number of unique (kmer, pos) pairs."""
+        return int(self.kmers.size)
+
+    @property
+    def merged(self) -> int:
+        """Requests eliminated by coalescing in this step."""
+        return self.issued - self.unique
+
+    def scatter(self, unique_values: np.ndarray) -> np.ndarray:
+        """Broadcast per-unique-pair results back to every issued request."""
+        return unique_values[self.inverse]
+
+
+def coalesce_requests(kmers: np.ndarray, positions: np.ndarray, span: int) -> CoalescedStep:
+    """Merge duplicate ``(kmer, pos)`` requests of one lockstep iteration.
+
+    Args:
+        kmers: packed k-mer code per issued request.
+        positions: Occ position per issued request, each in ``[0, span)``.
+        span: exclusive upper bound on positions (reference length + 1),
+            used to pack each pair into one sortable integer key.
+    """
+    kmers = np.asarray(kmers, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if kmers.shape != positions.shape:
+        raise ValueError("kmers and positions must have identical shapes")
+    keys = kmers * span + positions
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    return CoalescedStep(
+        kmers=unique_keys // span,
+        positions=unique_keys % span,
+        inverse=inverse,
+        issued=int(keys.size),
+    )
+
+
+@dataclass
+class BatchStats:
+    """Counters accumulated while searching one batch of queries.
+
+    The counters mirror :class:`repro.exma.search.ExmaSearchStats` (so the
+    existing hardware model and experiment harnesses can consume them)
+    plus the batching-specific quantities: lockstep iterations executed,
+    requests issued before coalescing, and requests surviving it.
+    ``requests`` holds the *coalesced* stream, in schedule order — the
+    input :meth:`repro.accel.exma_accelerator.ExmaAccelerator.run` replays.
+    """
+
+    queries: int = 0
+    lockstep_iterations: int = 0
+    iterations: int = 0
+    occ_requests_issued: int = 0
+    occ_requests_unique: int = 0
+    base_reads: int = 0
+    increment_entries_read: int = 0
+    index_predictions: int = 0
+    binary_comparisons: int = 0
+    prediction_errors: list[int] = field(default_factory=list)
+    requests: list[OccRequest] = field(default_factory=list)
+
+    @property
+    def requests_merged(self) -> int:
+        """Duplicate requests removed by coalescing across the batch."""
+        return self.occ_requests_issued - self.occ_requests_unique
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Issued-to-unique request ratio (1.0 means nothing merged)."""
+        if self.occ_requests_unique == 0:
+            return 1.0
+        return self.occ_requests_issued / self.occ_requests_unique
+
+    @property
+    def mean_error(self) -> float:
+        """Mean prediction error across learned-index lookups."""
+        if not self.prediction_errors:
+            return 0.0
+        return sum(self.prediction_errors) / len(self.prediction_errors)
+
+    def record_step(self, step: CoalescedStep) -> None:
+        """Account one coalesced lockstep iteration."""
+        self.lockstep_iterations += 1
+        self.occ_requests_issued += step.issued
+        self.occ_requests_unique += step.unique
+        self.requests.extend(
+            OccRequest(packed_kmer=int(kmer), pos=int(pos))
+            for kmer, pos in zip(step.kmers.tolist(), step.positions.tolist())
+        )
+
+    def merge(self, other: "BatchStats") -> None:
+        """Accumulate another batch's counters into this one."""
+        self.queries += other.queries
+        self.lockstep_iterations += other.lockstep_iterations
+        self.iterations += other.iterations
+        self.occ_requests_issued += other.occ_requests_issued
+        self.occ_requests_unique += other.occ_requests_unique
+        self.base_reads += other.base_reads
+        self.increment_entries_read += other.increment_entries_read
+        self.index_predictions += other.index_predictions
+        self.binary_comparisons += other.binary_comparisons
+        self.prediction_errors.extend(other.prediction_errors)
+        self.requests.extend(other.requests)
+
+    def to_search_stats(self) -> ExmaSearchStats:
+        """Convert to the legacy per-query stats record.
+
+        Lets everything written against :class:`ExmaSearchStats` (the
+        accelerator model, the figure harnesses) consume a batched run
+        unchanged.
+        """
+        return ExmaSearchStats(
+            iterations=self.iterations,
+            occ_lookups=self.occ_requests_unique,
+            base_reads=self.base_reads,
+            increment_entries_read=self.increment_entries_read,
+            index_predictions=self.index_predictions,
+            prediction_errors=list(self.prediction_errors),
+            requests=list(self.requests),
+        )

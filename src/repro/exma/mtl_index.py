@@ -262,6 +262,31 @@ class MTLIndex:
         shared_output = float(node.forward(features)[0])
         return leaf.predict(shared_output, count)
 
+    def predict_batch(self, kmer: str | int, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict` for many positions of one k-mer.
+
+        Runs the shared node's MLP once over the whole position vector and
+        applies the k-mer's linear leaf elementwise; agrees exactly with
+        per-position :meth:`predict` (same normalisation, rounding and
+        clipping).  Used by the batched query engine, which groups
+        coalesced Occ requests by k-mer.
+        """
+        packed = kmer if isinstance(kmer, int) else self._table._packed(kmer)
+        positions = np.asarray(positions, dtype=np.int64)
+        leaf = self._leaves.get(packed)
+        if leaf is None:
+            increments = self._table.increments_of(packed)
+            return np.searchsorted(increments, positions, side="left").astype(np.int64)
+        count = self._table.frequency(packed)
+        node = self._nodes[self._bucket_of[packed]]
+        n = self._table.reference_length
+        features = np.column_stack(
+            [positions / n, np.full(positions.size, count / n)]
+        )
+        shared_output = node.forward(features)
+        raw = (leaf.weight * shared_output + leaf.bias) * count
+        return np.clip(np.rint(raw), 0, max(0, count - 1)).astype(np.int64)
+
     def lookup(self, kmer: str | int, pos: int) -> tuple[int, int]:
         """Exact Occ value plus the linear-search probe distance."""
         packed = kmer if isinstance(kmer, int) else self._table._packed(kmer)

@@ -92,6 +92,8 @@ class ExmaTable:
             self._counts,
             self._kmer_rank_base,
         ) = self._build()
+        self._count_cache: dict[int, int] = {}
+        self._count_table: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -224,11 +226,21 @@ class ExmaTable:
         return int(np.searchsorted(increments, pos, side="left"))
 
     def count(self, kmer: str | int) -> int:
-        """Count(kmer): rows whose suffix starts with a smaller prefix."""
+        """Count(kmer): rows whose suffix starts with a smaller prefix.
+
+        Memoized per packed k-mer: the sentinel-prefix comparison is a
+        Python string scan, and searches (sequential and batched alike)
+        ask for the same few k-mers over and over.
+        """
         packed = self._packed(kmer)
+        cached = self._count_cache.get(packed)
+        if cached is not None:
+            return cached
         kmer_string = kmer if isinstance(kmer, str) else self.kmer_string(packed)
         sentinel_below = sum(1 for prefix in self._sentinel_prefixes if prefix < kmer_string)
-        return int(self._kmer_rank_base[packed]) + sentinel_below
+        result = int(self._kmer_rank_base[packed]) + sentinel_below
+        self._count_cache[packed] = result
+        return result
 
     def occ_linear(self, kmer: str | int, pos: int, start: int = 0) -> tuple[int, int]:
         """Occ via linear scan from *start*, returning (occ, entries_read).
@@ -278,6 +290,26 @@ class ExmaTable:
         low = dna_below + sentinel_below
         high = low + dna_inside + sentinel_inside
         return low, high
+
+    def count_table(self) -> np.ndarray:
+        """Count(kmer) for every packed k-mer, vectorized (cached).
+
+        Equivalent to calling :meth:`count` on each of the ``4^k`` codes:
+        each sentinel-containing row prefix ``p`` (with its first ``$`` at
+        offset ``j``) sorts below exactly the DNA k-mers whose packed code
+        is at least ``pack(p[:j] + 'A' * (k - j))`` — the smallest k-mer
+        sharing its DNA prefix — so each contributes one thresholded +1
+        over the packed code range.
+        """
+        if self._count_table is None:
+            counts = self._kmer_rank_base.copy()
+            codes = np.arange(self._bases.size)
+            for prefix in self._sentinel_prefixes:
+                j = prefix.index(SENTINEL)
+                threshold = pack_kmer(prefix[:j] + "A" * (self._k - j))
+                counts += codes >= threshold
+            self._count_table = counts
+        return self._count_table
 
     def frequencies(self) -> np.ndarray:
         """Increment counts of all 4^k k-mers (the ``f_i`` of Fig. 8)."""

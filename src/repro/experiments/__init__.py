@@ -6,7 +6,15 @@ from .fig06_prior import Fig6Result, run_fig6
 from .fig10_exma_tradeoff import ExmaSizeRow, Fig10Result, exma_size_sweep, run_fig10
 from .fig11_12_increments import Fig11_12Result, run_fig11_12
 from .fig13_index_error import ErrorComparison, Fig13Result, format_fig13, run_fig13
-from .fig18_throughput import Fig18Result, Fig18Row, format_fig18, run_fig18
+from .fig18_throughput import (
+    BatchingRow,
+    Fig18Result,
+    Fig18Row,
+    format_fig18,
+    format_fig18_batching,
+    run_fig18,
+    run_fig18_batching,
+)
 from .fig19_20_apps import ApplicationOutcome, Fig19_20Result, format_fig19, format_fig20, run_fig19_20
 from .fig21_23_memory import (
     CompressionComparison,
@@ -44,8 +52,11 @@ __all__ = [
     "run_fig13",
     "Fig18Result",
     "Fig18Row",
+    "BatchingRow",
     "format_fig18",
+    "format_fig18_batching",
     "run_fig18",
+    "run_fig18_batching",
     "ApplicationOutcome",
     "Fig19_20Result",
     "format_fig19",

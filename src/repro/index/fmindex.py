@@ -120,6 +120,7 @@ class FMIndex:
 
         self._count = self._build_count()
         self._occ_markers = self._build_occ_markers()
+        self._occ_prefix: np.ndarray | None = None
         if sa_sample_rate == 1:
             self._sa_samples = self._sa
         else:
@@ -199,6 +200,30 @@ class FMIndex:
         if position > start:
             base += int(np.count_nonzero(self._bwt_codes[start:position] == code))
         return base
+
+    def occ_prefix_sums(self) -> np.ndarray:
+        """Dense cumulative Occ table for vectorized batched lookups.
+
+        ``occ_prefix_sums()[pos, code]`` equals ``Occ(symbol, pos)``.  This
+        is the batched engine's mirror of the bucketed Occ of Fig. 3(f):
+        the simulated hardware still models ``bucket_width``-sampled
+        markers through :meth:`occ` and :class:`SearchTrace`, while the
+        lockstep core answers all live queries' lookups with one
+        fancy-indexing gather instead of a Python loop.  Built lazily,
+        cached for the index lifetime; costs
+        ``(n + 1) * |alphabet| * 4`` bytes.
+        """
+        if self._occ_prefix is None:
+            prefix = np.zeros((self._n + 1, len(FULL_ALPHABET)), dtype=np.int32)
+            for code in range(len(FULL_ALPHABET)):
+                np.cumsum(self._bwt_codes == code, out=prefix[1:, code])
+            self._occ_prefix = prefix
+        return self._occ_prefix
+
+    @property
+    def count_table(self) -> np.ndarray:
+        """Count(s) for every symbol code, indexable by encoded symbol."""
+        return self._count
 
     def full_interval(self) -> Interval:
         """The interval covering every BW-matrix row."""

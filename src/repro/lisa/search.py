@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..genome.alphabet import SENTINEL
 from ..index.fmindex import Interval
 from .ipbwt import IPBWT
 from .learned_index import RecursiveModelIndex
@@ -85,19 +86,35 @@ class LisaIndex:
         """The RMI, when enabled."""
         return self._rmi
 
+    def lower_bound(self, kmer: str, pos: int) -> tuple[int, int]:
+        """Lower bound of (kmer, pos) plus its lookup cost.
+
+        The cost is binary-search comparisons without the learned index,
+        linear-probe length with it.  Shared by the sequential search and
+        the batched :class:`~repro.engine.backends.LisaBackend`, so the
+        two paths can never diverge on dispatch or cost accounting.
+        """
+        if self._rmi is None:
+            comparisons = int(np.ceil(np.log2(len(self._ipbwt) + 1)))
+            return self._ipbwt.lower_bound(kmer, pos), comparisons
+        return self._rmi.lookup(self._ipbwt.numeric_key(kmer, pos))
+
+    def padded_chunk(self, chunk: str, smallest: bool) -> str:
+        """LISA's padding rule for a trailing chunk shorter than k."""
+        pad = self.k - len(chunk)
+        return chunk + (SENTINEL if smallest else "T") * pad
+
     def _lower_bound(self, kmer: str, pos: int, stats: LisaSearchStats | None) -> int:
         """Lower bound of (kmer, pos), via the learned index when enabled."""
-        if self._rmi is None:
-            if stats is not None:
-                stats.binary_comparisons += int(np.ceil(np.log2(len(self._ipbwt) + 1)))
-            return self._ipbwt.lower_bound(kmer, pos)
-        key = self._ipbwt.numeric_key(kmer, pos)
-        true_pos, probes = self._rmi.lookup(key)
+        value, cost = self.lower_bound(kmer, pos)
         if stats is not None:
-            stats.index_predictions += 1
-            stats.extra_probes += probes
-            stats.probe_counts.append(probes)
-        return true_pos
+            if self._rmi is None:
+                stats.binary_comparisons += cost
+            else:
+                stats.index_predictions += 1
+                stats.extra_probes += cost
+                stats.probe_counts.append(cost)
+        return value
 
     def backward_search(self, query: str, stats: LisaSearchStats | None = None) -> Interval:
         """Find the BW-matrix interval of all occurrences of *query*.
@@ -145,9 +162,7 @@ class LisaIndex:
         self, chunk: str, pos: int, smallest: bool, stats: LisaSearchStats | None
     ) -> int:
         """Lower bound for a padded partial chunk (LISA's padding rule)."""
-        pad = self.k - len(chunk)
-        padded = chunk + ("$" if smallest else "T") * pad
-        return self._lower_bound(padded, pos, stats)
+        return self._lower_bound(self.padded_chunk(chunk, smallest), pos, stats)
 
     def occurrence_count(self, query: str) -> int:
         """Number of occurrences of *query* in the reference."""

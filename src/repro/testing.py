@@ -1,0 +1,86 @@
+"""Shared test and benchmark helpers, importable as a real module.
+
+The seed suite kept these helpers in ``tests/conftest.py`` and
+``benchmarks/conftest.py`` and imported them with ``from conftest import
+...``.  Because neither directory is a package, whichever ``conftest``
+lands on ``sys.path`` first wins, and with both ``tests/`` and
+``benchmarks/`` collected in one run the import silently resolves to the
+wrong file and collection breaks.  Everything shared now lives here and is
+imported explicitly as ``from repro.testing import ...``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .genome.sequence import random_genome
+
+__all__ = [
+    "brute_force_find",
+    "mutate",
+    "random_queries",
+    "reference_and_queries",
+    "run_once",
+]
+
+
+def brute_force_find(reference: str, query: str) -> list[int]:
+    """All occurrence positions of *query* in *reference* (test oracle)."""
+    return [
+        i for i in range(len(reference) - len(query) + 1) if reference[i : i + len(query)] == query
+    ]
+
+
+def mutate(query: str, rng: random.Random, mutations: int = 1) -> str:
+    """Substitute *mutations* random symbols of *query* (may create misses)."""
+    symbols = list(query)
+    for _ in range(mutations):
+        i = rng.randrange(len(symbols))
+        symbols[i] = rng.choice([c for c in "ACGT" if c != symbols[i]])
+    return "".join(symbols)
+
+
+def random_queries(
+    reference: str,
+    count: int = 20,
+    length: int = 16,
+    seed: int = 0,
+    mutate_fraction: float = 0.3,
+    absent_fraction: float = 0.1,
+) -> list[str]:
+    """Sample a mixed query set for equivalence tests.
+
+    Most queries are exact reference substrings; ``mutate_fraction`` of
+    them get a random substitution (so some miss) and ``absent_fraction``
+    are fully random strings (almost certainly absent).  The mix mirrors
+    how seeding drives FM-Index searches: mostly hits, some misses.
+    """
+    rng = random.Random(seed)
+    queries: list[str] = []
+    for i in range(count):
+        roll = rng.random()
+        if roll < absent_fraction:
+            queries.append("".join(rng.choice("ACGT") for _ in range(length)))
+            continue
+        start = rng.randrange(max(1, len(reference) - length))
+        query = reference[start : start + length]
+        if roll < absent_fraction + mutate_fraction:
+            query = mutate(query, rng)
+        queries.append(query)
+    return queries
+
+
+def reference_and_queries(
+    genome_length: int = 600,
+    count: int = 20,
+    length: int = 16,
+    seed: int = 0,
+) -> tuple[str, list[str]]:
+    """A deterministic random reference plus a mixed query set."""
+    reference = random_genome(genome_length, seed=seed)
+    return reference, random_queries(reference, count=count, length=length, seed=seed + 1)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark *function* with a single round (experiments are heavy)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

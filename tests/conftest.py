@@ -45,8 +45,7 @@ def mtl_index(exma_table: ExmaTable) -> MTLIndex:
     return MTLIndex(exma_table, model_threshold=8, samples_per_kmer=32, epochs=60, seed=0)
 
 
-def brute_force_find(reference: str, query: str) -> list[int]:
-    """All occurrence positions of *query* in *reference* (test oracle)."""
-    return [
-        i for i in range(len(reference) - len(query) + 1) if reference[i : i + len(query)] == query
-    ]
+# Shared helpers (brute_force_find, query generators) live in
+# ``repro.testing`` — import them explicitly; conftest.py holds fixtures
+# only, so tests/ and benchmarks/ can never race for the ``conftest``
+# module name again.

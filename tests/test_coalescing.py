@@ -1,0 +1,183 @@
+"""Request-coalescing and BatchStats tests against hand-computed oracles.
+
+The tiny-reference cases are worked out by hand: for identical queries
+every lockstep iteration issues ``2 * batch`` requests that collapse to
+exactly 2 unique ``(k-mer, pos)`` pairs, so all counters are known in
+closed form and asserted literally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchStats,
+    ExmaBackend,
+    FMIndexBackend,
+    coalesce_requests,
+)
+from repro.exma.search import ExmaSearch, OccRequest
+from repro.exma.table import ExmaTable
+
+#: 8 bp toy reference; sentinel-terminated length n = 9.
+TINY = "ACGTACGT"
+
+
+class TestCoalesceRequests:
+    def test_duplicates_merge_exactly_once(self):
+        kmers = np.array([7, 7, 3, 7, 3])
+        positions = np.array([4, 4, 0, 4, 0])
+        step = coalesce_requests(kmers, positions, span=10)
+        assert step.issued == 5
+        assert step.unique == 2
+        assert step.merged == 3
+        # Unique pairs come back sorted (kmer, pos)-major.
+        assert step.kmers.tolist() == [3, 7]
+        assert step.positions.tolist() == [0, 4]
+
+    def test_scatter_routes_results_to_all_issuers(self):
+        kmers = np.array([1, 2, 1])
+        positions = np.array([5, 6, 5])
+        step = coalesce_requests(kmers, positions, span=10)
+        unique_values = np.array([100, 200])  # for (1,5) and (2,6)
+        assert step.scatter(unique_values).tolist() == [100, 200, 100]
+
+    def test_distinct_pairs_untouched(self):
+        kmers = np.array([1, 1, 2])
+        positions = np.array([0, 1, 0])
+        step = coalesce_requests(kmers, positions, span=10)
+        assert step.issued == step.unique == 3
+        assert step.merged == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            coalesce_requests(np.array([1]), np.array([1, 2]), span=10)
+
+
+class TestExmaCoalescingOracle:
+    """Three identical 'ACGT' queries over ACGTACGT, k = 2 — by hand.
+
+    Each query splits into the chunks GT (first) then AC; both chunks
+    occur twice in the reference so every query stays live for both
+    steps.  Identical queries track identical intervals, so each step's
+    6 issued requests collapse to 2 unique pairs:
+
+    * step 1: (GT, 0) and (GT, 9) — the full-matrix bounds;
+    * step 2: (AC, low) and (AC, high) of the shared GT interval.
+    """
+
+    @pytest.fixture(scope="class")
+    def table(self) -> ExmaTable:
+        return ExmaTable(TINY, k=2)
+
+    def test_premise_chunk_frequencies(self, table):
+        # Both chunks occur exactly twice — the entry counts the
+        # increment-read oracle below relies on.
+        assert table.frequency("GT") == 2
+        assert table.frequency("AC") == 2
+
+    def test_counters_match_hand_oracle(self, table):
+        stats = BatchStats()
+        backend = ExmaBackend(table=table)
+        intervals = backend.search_batch(["ACGT", "ACGT", "ACGT"], stats)
+
+        assert stats.queries == 3
+        assert stats.lockstep_iterations == 2          # GT step, AC step
+        assert stats.iterations == 6                   # 3 queries x 2 steps
+        assert stats.occ_requests_issued == 12         # 2 per query per step
+        assert stats.occ_requests_unique == 4          # 2 unique per step
+        assert stats.requests_merged == 8
+        assert stats.coalescing_factor == pytest.approx(3.0)
+        assert stats.base_reads == 2                   # one fetch of GT, one of AC
+        # Exact resolution reads ceil-log2 of the 2-entry list per unique
+        # request: bit_length(2) = 2 entries x 4 unique requests.
+        assert stats.increment_entries_read == 8
+        assert stats.index_predictions == 0
+
+        # All three queries agree and are correct: ACGT occurs at 0 and 4.
+        positions = [backend.locate(interval) for interval in intervals]
+        assert positions == [[0, 4]] * 3
+
+    def test_coalesced_request_stream_equals_single_query_stream(self, table):
+        """Duplicates merge to exactly the one-query request stream."""
+        single_requests, _ = ExmaSearch(table).request_stream(["ACGT"])
+        stats = BatchStats()
+        ExmaBackend(table=table).search_batch(["ACGT"] * 3, stats)
+        # Same pairs per step; the engine orders each step k-mer-major.
+        assert stats.requests == single_requests
+
+    def test_first_step_full_matrix_bounds(self, table):
+        stats = BatchStats()
+        ExmaBackend(table=table).search_batch(["ACGT", "ACGT"], stats)
+        n = table.reference_length
+        first_step = stats.requests[:2]
+        assert first_step == [
+            OccRequest(packed_kmer=11, pos=0),   # GT packs to 0b1011 = 11
+            OccRequest(packed_kmer=11, pos=n),
+        ]
+
+
+class TestFMIndexCoalescingOracle:
+    """CGT and AGT over ACGTACGT — by hand, symbol-per-step.
+
+    Processing right to left, both queries consume T then G with
+    identical intervals (same symbol from the same full matrix), so
+    steps 1 and 2 each collapse 4 issued requests to 2 unique; the final
+    symbols C vs A differ, so step 3 keeps all 4.
+    """
+
+    def test_counters_match_hand_oracle(self):
+        stats = BatchStats()
+        backend = FMIndexBackend(TINY)
+        backend.search_batch(["CGT", "AGT"], stats)
+        assert stats.queries == 2
+        assert stats.lockstep_iterations == 3
+        assert stats.occ_requests_issued == 12
+        assert stats.occ_requests_unique == 2 + 2 + 4
+        assert stats.requests_merged == 4
+
+    def test_identical_queries_fully_coalesce(self):
+        stats = BatchStats()
+        backend = FMIndexBackend(TINY)
+        batch = ["ACGT"] * 8
+        intervals = backend.search_batch(batch, stats)
+        assert stats.occ_requests_issued == 8 * 2 * 4
+        assert stats.occ_requests_unique == 2 * 4
+        assert stats.coalescing_factor == pytest.approx(8.0)
+        assert all((i.low, i.high) == (intervals[0].low, intervals[0].high) for i in intervals)
+
+
+class TestBatchStats:
+    def test_merge_accumulates(self):
+        a, b = BatchStats(), BatchStats()
+        a.queries, b.queries = 2, 3
+        a.occ_requests_issued, b.occ_requests_issued = 10, 6
+        a.occ_requests_unique, b.occ_requests_unique = 5, 2
+        a.prediction_errors, b.prediction_errors = [1], [2, 3]
+        a.requests = [OccRequest(packed_kmer=1, pos=0)]
+        b.requests = [OccRequest(packed_kmer=2, pos=1)]
+        a.merge(b)
+        assert a.queries == 5
+        assert a.occ_requests_issued == 16
+        assert a.occ_requests_unique == 7
+        assert a.prediction_errors == [1, 2, 3]
+        assert len(a.requests) == 2
+
+    def test_coalescing_factor_defaults_to_one(self):
+        assert BatchStats().coalescing_factor == 1.0
+
+    def test_mean_error(self):
+        stats = BatchStats(prediction_errors=[2, 4])
+        assert stats.mean_error == 3.0
+
+    def test_to_search_stats_roundtrip(self):
+        stats = BatchStats()
+        table = ExmaTable(TINY, k=2)
+        ExmaBackend(table=table).search_batch(["ACGT", "GTAC"], stats)
+        legacy = stats.to_search_stats()
+        assert legacy.iterations == stats.iterations
+        assert legacy.occ_lookups == stats.occ_requests_unique
+        assert legacy.requests == stats.requests
+        assert legacy.base_reads == stats.base_reads
+        assert legacy.increment_entries_read == stats.increment_entries_read

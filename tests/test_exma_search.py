@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import brute_force_find
+from repro.testing import brute_force_find
 from repro.exma.search import ExmaSearch, ExmaSearchStats
 from repro.exma.table import ExmaTable
 from repro.index.fmindex import FMIndex, Interval

@@ -27,6 +27,8 @@ from repro.experiments import (
     sample_queries,
 )
 
+pytestmark = pytest.mark.slow  # regenerates every experiment end-to-end
+
 SMALL = 12_000
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import brute_force_find
+from repro.testing import brute_force_find
 from repro.accel.config import exma_full_config
 from repro.accel.exma_accelerator import ExmaAccelerator
 from repro.apps.alignment import ReadAligner, alignment_accuracy
@@ -22,6 +22,8 @@ from repro.genome.reads import ILLUMINA, ReadSimulator
 from repro.index.fmindex import FMIndex
 from repro.index.kstep import KStepFMIndex
 from repro.lisa.search import LisaIndex
+
+pytestmark = pytest.mark.slow  # drives every layer end-to-end
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import brute_force_find
+from repro.testing import brute_force_find
 from repro.genome.datasets import HUMAN_PAPER_LENGTH
 from repro.genome.sequence import random_genome
 from repro.index.fmindex import FMIndex, Interval

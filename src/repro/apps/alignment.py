@@ -12,12 +12,19 @@ breakdown and the Fig. 19 application-speedup model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..engine.backends import FMIndexBackend
+from ..engine.sharded import default_executor, default_shards, run_sharded
 from ..genome.alphabet import reverse_complement
 from ..genome.reads import SimulatedRead
 from ..index.fmindex import FMIndex, Seed
 from .smith_waterman import LocalAlignment, ScoringScheme, banded_smith_waterman
+
+
+def _mem_shard(backend: FMIndexBackend, min_length: int, reads: list[str]) -> list[list[Seed]]:
+    """One shard's lockstep MEM seeding (module-level so processes can pickle)."""
+    return backend.maximal_exact_matches_batch(reads, min_length=min_length)
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,11 @@ class ReadAligner:
         extension_band: Smith-Waterman band width.
         max_seed_hits: reference positions considered per seed (seeds with
             more hits are repetitive and skipped, as BWA-MEM does).
+        shards: opt-in parallel seeding — split batch seeding across this
+            many workers (per-read MEM state machines are independent, so
+            seeds are identical to the serial pass).  ``None`` defers to
+            the ``REPRO_DEFAULT_SHARDS`` toggle.
+        executor: ``"thread"`` or ``"process"`` pool for *shards*.
     """
 
     def __init__(
@@ -79,6 +91,8 @@ class ReadAligner:
         extension_band: int = 16,
         max_seed_hits: int = 8,
         scoring: ScoringScheme | None = None,
+        shards: int | None = None,
+        executor: str | None = None,
     ) -> None:
         if min_seed_length <= 0:
             raise ValueError("min_seed_length must be positive")
@@ -91,6 +105,10 @@ class ReadAligner:
         self._band = extension_band
         self._max_hits = max_seed_hits
         self._scoring = scoring or ScoringScheme()
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._shards = shards
+        self._executor = executor
 
     @property
     def fm_index(self) -> FMIndex:
@@ -113,8 +131,25 @@ class ReadAligner:
         if not read:
             raise ValueError("read must be non-empty")
         oriented = (read, reverse_complement(read))
-        seeds = self._backend.maximal_exact_matches_batch(oriented, min_length=self._min_seed)
+        seeds = self._seed_batch(list(oriented))
         return self._align_from_seeds(name, oriented, seeds, counters)
+
+    def _seed_batch(self, oriented: list[str]) -> list[list[Seed]]:
+        """Seed a batch of oriented reads, sharded across workers when asked.
+
+        Batches too small to give every worker at least two reads stay on
+        the serial path — per-read ``align_read`` (a 2-string batch) must
+        not pay a pool spin-up per call when the environment toggle turns
+        sharding on globally.
+        """
+        shards = self._shards if self._shards is not None else default_shards()
+        if shards > 1 and len(oriented) >= 2 * shards:
+            executor = self._executor if self._executor is not None else default_executor()
+            outputs = run_sharded(
+                partial(_mem_shard, self._backend, self._min_seed), oriented, shards, executor
+            )
+            return [seeds for shard_seeds in outputs for seeds in shard_seeds]
+        return self._backend.maximal_exact_matches_batch(oriented, min_length=self._min_seed)
 
     def _align_from_seeds(
         self,
@@ -189,8 +224,10 @@ class ReadAligner:
         Seeding for the whole batch — every read, both orientations — runs
         as one lockstep pass through the batched engine, so the Occ
         request streams of all reads coalesce, as on the accelerator.
-        Extension then proceeds per read over the precomputed seeds;
-        results are identical to per-read :meth:`align_read`.
+        With ``shards`` set, seeding fans out across the worker pool
+        (identical seeds either way).  Extension then proceeds per read
+        over the precomputed seeds; results are identical to per-read
+        :meth:`align_read`.
         """
         counters = AlignerCounters()
         oriented_all: list[str] = []
@@ -199,9 +236,7 @@ class ReadAligner:
                 raise ValueError("read must be non-empty")
             oriented_all.append(read.sequence)
             oriented_all.append(reverse_complement(read.sequence))
-        seeds_all = self._backend.maximal_exact_matches_batch(
-            oriented_all, min_length=self._min_seed
-        )
+        seeds_all = self._seed_batch(oriented_all)
         results = []
         for i, read in enumerate(reads):
             oriented = (oriented_all[2 * i], oriented_all[2 * i + 1])

@@ -43,7 +43,10 @@ class ExactWordAnnotator:
 
     Word batches route through the batched query engine: one lockstep
     search over the whole word set with Occ-request coalescing, then a
-    locate per word.  Results are identical to per-word search.
+    locate per word.  Results are identical to per-word search.  Passing
+    ``shards`` opts the default engine into the sharded parallel path
+    (word sets are the repository's largest batches); results stay
+    identical to serial.
     """
 
     def __init__(
@@ -51,11 +54,15 @@ class ExactWordAnnotator:
         fm_index: FMIndex,
         max_positions_per_word: int = 1000,
         engine: QueryEngine | None = None,
+        shards: int | None = None,
+        executor: str | None = None,
     ) -> None:
         if max_positions_per_word <= 0:
             raise ValueError("max_positions_per_word must be positive")
         self._fm = fm_index
-        self._engine = engine or QueryEngine(FMIndexBackend(fm_index=fm_index))
+        self._engine = engine or QueryEngine(
+            FMIndexBackend(fm_index=fm_index), shards=shards, executor=executor
+        )
         self._max_positions = max_positions_per_word
 
     @property

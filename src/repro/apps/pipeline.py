@@ -91,12 +91,17 @@ def run_application(
     read_count: int = 30,
     read_length: int = 101,
     seed: int = 0,
+    shards: int | None = None,
+    executor: str | None = None,
 ) -> WorkCounters:
     """Run one application at reproduction scale and return its work.
 
     Annotation and compression do not depend on the read error profile (the
     paper evaluates them once per dataset); alignment and assembly use
-    reads simulated with *profile*.
+    reads simulated with *profile*.  ``shards``/``executor`` opt the
+    FM-Index-heavy applications (alignment seeding, annotation word
+    batches) into the sharded parallel engine path; work counters are
+    identical either way.
     """
     if application not in APPLICATIONS:
         raise ValueError(f"unknown application {application!r}")
@@ -114,6 +119,8 @@ def run_application(
             fm_index=fm,
             min_seed_length=12 if long_read_profile else 15,
             extension_band=24 if long_read_profile else 16,
+            shards=shards,
+            executor=executor,
         )
         _, counters = aligner.align_batch(reads)
         return _alignment_work(counters)
@@ -142,7 +149,10 @@ def run_application(
         words = words_from_reference(reference.sequence, word_length=24, stride=max(64, len(reference.sequence) // max(read_count, 1)))
         # Annotation's word set routes through the batched engine in one
         # lockstep pass; alignment's seeding is batched inside ReadAligner.
-        annotator = ExactWordAnnotator(fm, engine=QueryEngine(FMIndexBackend(fm_index=fm)))
+        annotator = ExactWordAnnotator(
+            fm,
+            engine=QueryEngine(FMIndexBackend(fm_index=fm), shards=shards, executor=executor),
+        )
         counters = AnnotationCounters()
         annotator.annotate(words, counters)
         return WorkCounters(

@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .engine import QueryEngine, available_backends
+from .engine import EXECUTORS, QueryEngine, available_backends
 from .exma.table import exma_size_breakdown
 from .genome.io import read_fasta
 from .genome.sequence import random_genome
@@ -37,6 +37,7 @@ EXPERIMENT_NAMES = (
     "fig6",
     "fig10",
     "fig13",
+    "fig15-window",
     "fig18",
     "fig18-batching",
     "fig21",
@@ -74,16 +75,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="search backend (default: exma-mtl, or exma with --no-index)",
     )
     search.add_argument("--queries", nargs="+", required=True, help="DNA queries to search")
+    _add_sharding_flags(search)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=EXPERIMENT_NAMES, help="experiment to run")
     experiment.add_argument("--genome-length", type=int, default=20_000)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="largest coalescing window W for fig15-window (sweeps powers of two up to W)",
+    )
+    _add_sharding_flags(experiment)
 
     info = subparsers.add_parser("info", help="print paper-scale size models")
     info.add_argument("--genome-length", type=int, default=3_000_000_000)
     info.add_argument("--step", type=int, default=15)
     return parser
+
+
+def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
+    """The parallel-path knobs shared by search and experiment."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split query batches across this many workers "
+        "(default: REPRO_DEFAULT_SHARDS or serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="worker pool for --shards (default: REPRO_DEFAULT_EXECUTOR or thread)",
+    )
 
 
 def _load_reference(args: argparse.Namespace) -> str:
@@ -109,8 +135,12 @@ def _run_search(args: argparse.Namespace) -> int:
         kwargs["k"] = args.step
     if backend_name == "exma-mtl":
         kwargs.update(model_threshold=32, epochs=100)
-    engine = QueryEngine.from_reference(reference, name=backend_name, **kwargs)
+    engine = QueryEngine.from_reference(
+        reference, name=backend_name, shards=args.shards, executor=args.executor, **kwargs
+    )
     print(f"reference: {len(reference):,} bp, backend {backend_name}, step k={args.step}")
+    if engine.shards > 1:
+        print(f"sharded: {engine.shards} shards via {engine.executor} executor")
     result = engine.search_batch(args.queries)
     for query, interval in zip(args.queries, result.intervals):
         positions = (
@@ -145,6 +175,18 @@ def _run_experiment(args: argparse.Namespace) -> int:
             print(f"  {scheme:9s} {value:5.2f}x")
     elif name == "fig13":
         print(ex.format_fig13(ex.run_fig13(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig15-window":
+        windows = [1]
+        while windows[-1] * 2 <= max(1, args.window):
+            windows.append(windows[-1] * 2)
+        result = ex.run_fig15_window(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            windows=tuple(windows),
+            shards=args.shards,
+            executor=args.executor,
+        )
+        print(ex.format_fig15(result))
     elif name == "fig18":
         print(ex.format_fig18(ex.run_fig18(genome_length=args.genome_length, seed=args.seed)))
     elif name == "fig18-batching":

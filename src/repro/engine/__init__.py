@@ -7,6 +7,12 @@ LISA): every exact-match search goes through
 them in lockstep through a registered backend, coalesces duplicate
 ``(k-mer, pos)`` Occ requests across the batch, and reports
 :class:`~repro.engine.coalesce.BatchStats` that feed the hardware model.
+
+Two layers scale it further: :class:`~repro.engine.sharded
+.ShardedQueryEngine` splits batches across a thread/process pool (results
+byte-identical to serial), and :class:`~repro.engine.window
+.CoalescingWindow` merges duplicate requests across *consecutive* batches
+before the stream reaches the accelerator model.
 """
 
 from .backends import (
@@ -18,20 +24,43 @@ from .backends import (
     create_backend,
     register_backend,
 )
-from .coalesce import BatchStats, CoalescedStep, coalesce_requests
+from .coalesce import BatchStats, BatchTrace, CoalescedStep, coalesce_requests
 from .engine import BatchResult, QueryEngine
+from .sharded import (
+    EXECUTORS,
+    ShardedQueryEngine,
+    default_executor,
+    default_shards,
+    merge_shard_stats,
+    run_sharded,
+    run_sharded_batch,
+    split_shards,
+)
+from .window import CoalescingWindow, WindowedBatch, windowed_request_stream
 
 __all__ = [
     "BatchResult",
     "BatchStats",
+    "BatchTrace",
     "CoalescedStep",
+    "CoalescingWindow",
+    "EXECUTORS",
     "ExmaBackend",
     "FMIndexBackend",
     "LisaBackend",
     "QueryEngine",
     "SearchBackend",
+    "ShardedQueryEngine",
+    "WindowedBatch",
     "available_backends",
     "coalesce_requests",
     "create_backend",
+    "default_executor",
+    "default_shards",
+    "merge_shard_stats",
     "register_backend",
+    "run_sharded",
+    "run_sharded_batch",
+    "split_shards",
+    "windowed_request_stream",
 ]

@@ -24,7 +24,7 @@ from ..exma.table import ExmaTable
 from ..genome.alphabet import FULL_ALPHABET, SENTINEL, encode, pack_kmer, unpack_kmer
 from ..index.fmindex import FMIndex, Interval
 from ..lisa.search import LisaIndex
-from .coalesce import BatchStats, coalesce_requests
+from .coalesce import BatchStats, BatchTrace, coalesce_requests
 
 __all__ = [
     "SearchBackend",
@@ -85,6 +85,24 @@ class SearchBackend(abc.ABC):
     ) -> list[int]:
         """Occurrence count of every query."""
         return [interval.count for interval in self.search_batch(queries, stats)]
+
+    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
+        """Re-account a (merged) step trace's resolution costs into *stats*.
+
+        Given the per-step unique ``(kmer, pos)`` sets and distinct tails
+        of a batch — typically the step-aligned union of several shards'
+        traces — redo exactly the accounting the serial lockstep loop
+        performs for them: base reads, increment-entry reads, index
+        predictions and their errors, binary comparisons.  The per-query
+        counters (``queries``, ``iterations``, ``occ_requests_issued``)
+        and the stream bookkeeping (``lockstep_iterations``,
+        ``occ_requests_unique``, ``requests``) are shard-decomposable and
+        are NOT touched here — :func:`repro.engine.sharded
+        .merge_shard_stats` derives them directly.
+        """
+        raise NotImplementedError(
+            f"backend {type(self).__name__} does not support sharded stats replay"
+        )
 
     @staticmethod
     def _validate(queries: Sequence[str]) -> None:
@@ -226,6 +244,11 @@ class FMIndexBackend(SearchBackend):
                 stats.record_step(step)
 
         return [Interval(int(low), int(high)) for low, high in zip(lows, highs)]
+
+    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
+        # One gather from the dense Occ table per unique symbol per step.
+        for kmers, _positions in trace.steps:
+            stats.base_reads += int(np.unique(kmers).size)
 
     # ------------------------------------------------------------------ #
     # Batched seeding
@@ -434,6 +457,7 @@ class ExmaBackend(SearchBackend):
                 tail_cache[tail] = bounds
                 if stats is not None:
                     stats.base_reads += 1
+                    stats.record_tail(tail)
             lows[i], highs[i] = bounds
             if stats is not None:
                 stats.iterations += 1
@@ -465,6 +489,16 @@ class ExmaBackend(SearchBackend):
 
         return [Interval(int(low), int(high)) for low, high in zip(lows, highs)]
 
+    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
+        # Distinct tails cost one per-k-mer count read each, exactly as
+        # the tail cache accounts them on a miss.
+        stats.base_reads += len(trace.tails)
+        # Re-resolving each step's merged unique set runs the serial
+        # accounting verbatim (base reads per unique k-mer group,
+        # increment-entry reads, predictions and errors).
+        for kmers, positions in trace.steps:
+            self._resolve_unique(kmers, positions, stats)
+
     def _augmented_increments(self) -> tuple[np.ndarray, np.ndarray]:
         """The increment array offset into per-k-mer key ranges (cached).
 
@@ -478,8 +512,12 @@ class ExmaBackend(SearchBackend):
         if self._augmented is None:
             counts = self._table.frequencies()
             owners = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
-            self._augmented = self._table.increments + owners * self._span
+            augmented = self._table.increments + owners * self._span
+            # Publish offsets before the array other threads gate on:
+            # concurrent shard threads (sharded.py's thread executor) check
+            # ``_augmented is None``, so it must become visible last.
             self._offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            self._augmented = augmented
         assert self._offsets is not None
         return self._augmented, self._offsets
 
@@ -666,6 +704,8 @@ class LisaBackend(SearchBackend):
                 high = self._lower_bound(self._lisa.padded_chunk(tail, smallest=False), n, stats)
                 bounds = (low, high)
                 tail_cache[tail] = bounds
+                if stats is not None:
+                    stats.record_tail(tail)
             lows[i], highs[i] = bounds
             if stats is not None:
                 stats.iterations += 1
@@ -711,6 +751,19 @@ class LisaBackend(SearchBackend):
                     alive[i] = False
 
         return [Interval(low, high) for low, high in zip(lows, highs)]
+
+    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
+        n = len(self._lisa.ipbwt)
+        # Tails first, as the serial pass resolves them before the
+        # lockstep loop (each distinct tail costs two lower bounds).
+        for tail in trace.tails:
+            self._lower_bound(self._lisa.padded_chunk(tail, smallest=True), 0, stats)
+            self._lower_bound(self._lisa.padded_chunk(tail, smallest=False), n, stats)
+        k = self._lisa.k
+        for kmers, positions in trace.steps:
+            stats.base_reads += int(np.unique(kmers).size)
+            for kmer, pos in zip(kmers, positions):
+                self._lower_bound(unpack_kmer(int(kmer), k), int(pos), stats)
 
 
 @register_backend("lisa-learned")

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..exma.search import ExmaSearchStats, OccRequest
 
-__all__ = ["BatchStats", "CoalescedStep", "coalesce_requests"]
+__all__ = ["BatchStats", "BatchTrace", "CoalescedStep", "coalesce_requests"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,25 @@ def coalesce_requests(kmers: np.ndarray, positions: np.ndarray, span: int) -> Co
 
 
 @dataclass
+class BatchTrace:
+    """Step-aligned record of the unique requests of one batched search.
+
+    Lockstep step indices are batch-invariant (step *t* consumes the same
+    symbol/chunk of every query regardless of which other queries share
+    the batch), so per-shard traces of a split batch can be unioned step
+    by step to recover exactly the unique request sets the *whole* batch
+    would have produced serially.  ``steps`` holds one ``(kmers,
+    positions)`` pair of arrays per lockstep iteration; ``tails`` the
+    distinct partial-chunk strings resolved before the lockstep loop, in
+    first-seen order.  :meth:`repro.engine.backends.SearchBackend
+    .replay_trace` turns a merged trace back into serial-exact counters.
+    """
+
+    steps: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+    tails: list[str] = field(default_factory=list)
+
+
+@dataclass
 class BatchStats:
     """Counters accumulated while searching one batch of queries.
 
@@ -99,6 +118,10 @@ class BatchStats:
     binary_comparisons: int = 0
     prediction_errors: list[int] = field(default_factory=list)
     requests: list[OccRequest] = field(default_factory=list)
+    #: When set, backends record the per-step unique request arrays and
+    #: distinct tails here, so a sharded run can be merged back into
+    #: serial-exact counters (see :mod:`repro.engine.sharded`).
+    trace: "BatchTrace | None" = None
 
     @property
     def requests_merged(self) -> int:
@@ -128,9 +151,29 @@ class BatchStats:
             OccRequest(packed_kmer=int(kmer), pos=int(pos))
             for kmer, pos in zip(step.kmers.tolist(), step.positions.tolist())
         )
+        if self.trace is not None:
+            self.trace.steps.append((step.kmers, step.positions))
+
+    def record_tail(self, tail: str) -> None:
+        """Trace one *distinct* partial-chunk tail resolved pre-lockstep.
+
+        Backends call this once per cache-missing tail (the same point
+        where they account its resolution cost), so the trace carries the
+        shard-distinct tail set needed for an exact cross-shard merge.
+        """
+        if self.trace is not None:
+            self.trace.tails.append(tail)
 
     def merge(self, other: "BatchStats") -> None:
-        """Accumulate another batch's counters into this one."""
+        """Accumulate another batch's counters into this one.
+
+        This is the *consecutive batches* merge — counters add up because
+        the batches were searched independently.  It is NOT the right way
+        to combine the per-shard stats of one split batch: duplicate
+        requests across shards would double-count the coalescing-dependent
+        counters; :func:`repro.engine.sharded.merge_shard_stats` performs
+        that merge exactly via the step traces.
+        """
         self.queries += other.queries
         self.lockstep_iterations += other.lockstep_iterations
         self.iterations += other.iterations

@@ -55,6 +55,14 @@ class QueryEngine:
         backend: a prebuilt backend, or ``None`` to build one by name.
         name: registry name used when *backend* is omitted.
         reference: reference string used when *backend* is omitted.
+        shards: split batches into this many shards and search them in a
+            worker pool (see :mod:`repro.engine.sharded`); results are
+            identical to the serial path.  ``None`` (the default) defers
+            to the ``REPRO_DEFAULT_SHARDS`` environment toggle, which
+            defaults to 1 (serial).
+        executor: ``"thread"`` or ``"process"`` worker pool for the
+            sharded path; ``None`` defers to ``REPRO_DEFAULT_EXECUTOR``
+            (default ``"thread"``).
         **kwargs: forwarded to the backend factory.
     """
 
@@ -64,13 +72,26 @@ class QueryEngine:
         *,
         name: str | None = None,
         reference: str | None = None,
+        shards: int | None = None,
+        executor: str | None = None,
         **kwargs,
     ) -> None:
         if backend is None:
             if name is None or reference is None:
                 raise ValueError("provide a backend, or a registry name and reference")
             backend = create_backend(name, reference, **kwargs)
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if executor is not None:
+            from .sharded import EXECUTORS
+
+            if executor not in EXECUTORS:
+                raise ValueError(
+                    f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+                )
         self._backend = backend
+        self._shards = shards
+        self._executor = executor
 
     @classmethod
     def from_reference(cls, reference: str, name: str = "fmindex", **kwargs) -> "QueryEngine":
@@ -82,12 +103,42 @@ class QueryEngine:
         """The backend answering this engine's batches."""
         return self._backend
 
+    @property
+    def shards(self) -> int:
+        """Effective shard count (pinned, or the environment default)."""
+        if self._shards is not None:
+            return self._shards
+        from .sharded import default_shards
+
+        return default_shards()
+
+    @property
+    def executor(self) -> str:
+        """Effective executor kind (pinned, or the environment default)."""
+        if self._executor is not None:
+            return self._executor
+        from .sharded import default_executor
+
+        return default_executor()
+
     # ------------------------------------------------------------------ #
     # Batch lifecycle
     # ------------------------------------------------------------------ #
 
     def search_batch(self, queries: Sequence[str]) -> BatchResult:
-        """Search a batch of queries in lockstep, with request coalescing."""
+        """Search a batch of queries in lockstep, with request coalescing.
+
+        Dispatches to the sharded parallel path when the engine (or the
+        ``REPRO_DEFAULT_SHARDS`` toggle) asks for more than one shard;
+        intervals and stats are identical either way.
+        """
+        shards = self.shards
+        if shards > 1:
+            from .sharded import run_sharded_batch
+
+            return run_sharded_batch(
+                self._backend, queries, shards=shards, executor=self.executor
+            )
         stats = BatchStats()
         intervals = self._backend.search_batch(list(queries), stats)
         return BatchResult(intervals=intervals, stats=stats)

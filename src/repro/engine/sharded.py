@@ -1,0 +1,281 @@
+"""Sharded parallel execution of the batched query engine.
+
+The lockstep core is embarrassingly parallel across *query* shards: a
+query's ``(low, high)`` interval trajectory depends only on the query and
+the index, never on which other queries share its batch.  This module
+exploits that by splitting a batch into contiguous shards, running each
+shard's lockstep search in a :mod:`concurrent.futures` pool (threads, or
+processes with picklable backend handles) and merging the per-shard
+results back into one :class:`~repro.engine.engine.BatchResult` that is
+**byte-identical** to what the serial engine would have produced:
+
+* intervals are trivially order-preserving (contiguous split + ordered
+  gather);
+* the shard-decomposable counters (``queries``, ``iterations``,
+  ``occ_requests_issued``) are plain sums;
+* the coalescing-dependent state (unique request counts, the request
+  stream, base/increment-read accounting, prediction errors) is rebuilt
+  from the shards' step-aligned :class:`~repro.engine.coalesce.BatchTrace`
+  records: lockstep step *t* consumes the same symbol/chunk of every
+  query in every shard, so the union of the shards' unique request sets
+  at step *t* is exactly the serial batch's unique set at step *t*, and
+  :meth:`~repro.engine.backends.SearchBackend.replay_trace` re-runs the
+  serial accounting over those merged sets.
+
+The equivalence is locked down by the property-based suite in
+``tests/test_sharded.py`` (all six backends, any shard count, both
+executors), mirroring how the SPEChpc strong-scaling studies validate
+parallel results against the serial baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..exma.search import OccRequest
+from ..index.fmindex import Interval
+from .backends import SearchBackend
+from .coalesce import BatchStats, BatchTrace
+from .engine import BatchResult, QueryEngine
+
+__all__ = [
+    "EXECUTORS",
+    "EXECUTOR_ENV",
+    "SHARDS_ENV",
+    "ShardedQueryEngine",
+    "default_executor",
+    "default_shards",
+    "merge_shard_stats",
+    "merge_traces",
+    "run_sharded",
+    "run_sharded_batch",
+    "split_shards",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Supported ``concurrent.futures`` executor kinds.
+EXECUTORS = ("thread", "process")
+
+#: Environment toggles: default shard count / executor used by every
+#: :class:`QueryEngine` that does not pin its own.  CI runs the quick
+#: suite with ``REPRO_DEFAULT_SHARDS=4`` so the parallel path is exercised
+#: by the whole existing test matrix, not just the dedicated suite.
+SHARDS_ENV = "REPRO_DEFAULT_SHARDS"
+EXECUTOR_ENV = "REPRO_DEFAULT_EXECUTOR"
+
+
+def default_shards() -> int:
+    """Shard count engines use when not pinned (``REPRO_DEFAULT_SHARDS``)."""
+    try:
+        return max(1, int(os.environ.get(SHARDS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def default_executor() -> str:
+    """Executor engines use when not pinned (``REPRO_DEFAULT_EXECUTOR``)."""
+    executor = os.environ.get(EXECUTOR_ENV, "thread")
+    return executor if executor in EXECUTORS else "thread"
+
+
+def split_shards(items: Sequence[T], shards: int) -> list[list[T]]:
+    """Split *items* into at most *shards* contiguous, balanced, non-empty
+    chunks, preserving order.
+
+    Contiguity matters beyond cache locality: it keeps the global
+    first-seen order of partial-chunk tails reconstructible from the
+    per-shard orders, which the exact stats merge relies on.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    count = min(shards, len(items))
+    if count == 0:
+        return []
+    base, extra = divmod(len(items), count)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def _make_executor(executor: str, workers: int) -> Executor:
+    if executor == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    raise ValueError(f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}")
+
+
+def run_sharded(
+    worker: Callable[[list[T]], R],
+    items: Sequence[T],
+    shards: int,
+    executor: str = "thread",
+) -> list[R]:
+    """Apply *worker* to contiguous shards of *items*, outputs in shard order.
+
+    *worker* receives one shard (a list slice) and must be picklable for
+    the ``process`` executor — a module-level function or a
+    :func:`functools.partial` over one.  A single shard short-circuits the
+    pool entirely.
+    """
+    shard_lists = split_shards(items, shards)
+    if not shard_lists:
+        return []
+    if len(shard_lists) == 1:
+        return [worker(shard_lists[0])]
+    with _make_executor(executor, len(shard_lists)) as pool:
+        futures = [pool.submit(worker, shard) for shard in shard_lists]
+        return [future.result() for future in futures]
+
+
+def _search_shard(backend: SearchBackend, queries: list[str]) -> tuple[list[Interval], BatchStats]:
+    """One shard's lockstep search, with step tracing enabled for the merge."""
+    stats = BatchStats(trace=BatchTrace())
+    intervals = backend.search_batch(queries, stats)
+    return intervals, stats
+
+
+def merge_traces(traces: Sequence[BatchTrace], span: int) -> BatchTrace:
+    """Union per-shard traces step by step into the serial batch's trace.
+
+    Step *t* of every shard corresponds to the same lockstep iteration of
+    the unsplit batch, so the serial unique set at *t* is the union of the
+    shard sets at *t* (packed into ``kmer * span + pos`` keys and deduped,
+    which also restores the per-step sorted order the serial coalescer
+    emits).  Tails merge by first-seen order across the contiguous shards,
+    which is exactly the whole batch's first-seen order.
+    """
+    merged = BatchTrace()
+    depth = max((len(trace.steps) for trace in traces), default=0)
+    for index in range(depth):
+        keys = np.unique(
+            np.concatenate(
+                [
+                    trace.steps[index][0] * span + trace.steps[index][1]
+                    for trace in traces
+                    if index < len(trace.steps)
+                ]
+            )
+        )
+        merged.steps.append((keys // span, keys % span))
+    merged.tails = list(dict.fromkeys(tail for trace in traces for tail in trace.tails))
+    return merged
+
+
+def merge_shard_stats(backend: SearchBackend, shard_stats: Sequence[BatchStats]) -> BatchStats:
+    """Merge per-shard stats into counters identical to a serial run's.
+
+    Plain ``BatchStats.merge`` would double-count every request duplicated
+    across shards (understating nothing but overstating unique counts,
+    base reads and prediction work — the same counter family as the fig18
+    base-count bug fixed in PR 1).  Instead the per-query counters are
+    summed, the merged step trace rebuilds the unique-request stream, and
+    the backend replays the trace to redo the resolution accounting
+    exactly once per serial-unique request.
+    """
+    merged = BatchStats()
+    for stats in shard_stats:
+        merged.queries += stats.queries
+        merged.iterations += stats.iterations
+        merged.occ_requests_issued += stats.occ_requests_issued
+    traces = [stats.trace for stats in shard_stats if stats.trace is not None]
+    trace = merge_traces(traces, span=backend.reference_length + 1)
+    for kmers, positions in trace.steps:
+        merged.lockstep_iterations += 1
+        merged.occ_requests_unique += int(kmers.size)
+        merged.requests.extend(
+            OccRequest(packed_kmer=int(kmer), pos=int(pos))
+            for kmer, pos in zip(kmers.tolist(), positions.tolist())
+        )
+    backend.replay_trace(trace, merged)
+    return merged
+
+
+def run_sharded_batch(
+    backend: SearchBackend,
+    queries: Sequence[str],
+    shards: int,
+    executor: str = "thread",
+) -> BatchResult:
+    """Search *queries* across shards; result identical to the serial path."""
+    queries = list(queries)
+    if shards <= 1 or len(queries) <= 1:
+        stats = BatchStats()
+        return BatchResult(intervals=backend.search_batch(queries, stats), stats=stats)
+    outputs = run_sharded(partial(_search_shard, backend), queries, shards, executor)
+    intervals = [interval for shard_intervals, _ in outputs for interval in shard_intervals]
+    stats = merge_shard_stats(backend, [shard_stats for _, shard_stats in outputs])
+    return BatchResult(intervals=intervals, stats=stats)
+
+
+class ShardedQueryEngine(QueryEngine):
+    """A :class:`QueryEngine` that always runs the sharded parallel path.
+
+    Construction mirrors :class:`QueryEngine` (prebuilt backend, or
+    registry name + reference) plus the parallelism knobs.  Every batch
+    API (``search_batch``, ``find_batch``, ``count_batch``,
+    ``request_stream`` and the single-query wrappers) returns exactly what
+    the serial engine would.
+
+    Args:
+        backend: a prebuilt backend, or ``None`` to build one by name.
+        shards: number of query shards (defaults to the
+            ``REPRO_DEFAULT_SHARDS`` environment toggle).
+        executor: ``"thread"`` or ``"process"`` (defaults to the
+            ``REPRO_DEFAULT_EXECUTOR`` environment toggle).  The process
+            executor requires a picklable backend — all registered
+            backends are.
+        name: registry name used when *backend* is omitted.
+        reference: reference string used when *backend* is omitted.
+        **kwargs: forwarded to the backend factory.
+    """
+
+    def __init__(
+        self,
+        backend: SearchBackend | None = None,
+        *,
+        shards: int | None = None,
+        executor: str | None = None,
+        name: str | None = None,
+        reference: str | None = None,
+        **kwargs,
+    ) -> None:
+        shards = default_shards() if shards is None else int(shards)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        executor = default_executor() if executor is None else executor
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+            )
+        super().__init__(
+            backend,
+            name=name,
+            reference=reference,
+            shards=shards,
+            executor=executor,
+            **kwargs,
+        )
+
+    def search_batch_per_shard(self, queries: Sequence[str]) -> list[BatchResult]:
+        """The per-shard results before merging (introspection/debugging)."""
+        outputs = run_sharded(
+            partial(_search_shard, self.backend),
+            list(queries),
+            self.shards,
+            self.executor,
+        )
+        return [
+            BatchResult(intervals=intervals, stats=stats) for intervals, stats in outputs
+        ]

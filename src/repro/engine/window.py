@@ -1,0 +1,133 @@
+"""Cross-batch request coalescing: the scheduling-window model.
+
+The engine's per-batch coalescing merges duplicate ``(k-mer, pos)``
+requests *within* one batch; the paper's Fig. 15 sweep shows the
+accelerator gains more when the DRAM-side merge may look across a
+*scheduling window* of consecutive batches — the longer the replayed
+stream, the more duplicates fall inside one window.  A
+:class:`CoalescingWindow` models that stage in software: it buffers up to
+``capacity`` (W) consecutive batch request streams and flushes each
+window as one merged stream in which every unique ``(k-mer, pos)`` pair
+appears exactly once, in the ``(k-mer, pos)``-sorted order the stage-1
+scheduler wants.
+
+Two oracle properties pin the semantics down (``tests/test_window.py``):
+
+* **W = 1** is per-batch coalescing exactly — each flush equals
+  :func:`repro.engine.coalesce.coalesce_requests` applied to that batch's
+  stream alone;
+* **W > 1** never emits more post-merge requests than the sum of the
+  per-batch post-merge counts, and for window capacities that divide each
+  other (1, 2, 4, 8, ...) the total post-merge count is monotone
+  non-increasing in W, since every 2W-window is the union of two aligned
+  W-windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..exma.search import OccRequest
+
+__all__ = ["CoalescingWindow", "WindowedBatch", "windowed_request_stream"]
+
+
+@dataclass(frozen=True)
+class WindowedBatch:
+    """One flushed window: the merged unique requests of up to W batches."""
+
+    #: Unique ``(k-mer, pos)`` requests, sorted (k-mer, pos)-major.
+    requests: tuple[OccRequest, ...]
+    #: Number of batches merged into this window.
+    batches: int
+    #: Requests entering the window (after per-batch, pre-window merging).
+    issued: int
+
+    @property
+    def unique(self) -> int:
+        """Requests surviving the window merge."""
+        return len(self.requests)
+
+    @property
+    def merged(self) -> int:
+        """Requests eliminated by the cross-batch merge."""
+        return self.issued - self.unique
+
+
+class CoalescingWindow:
+    """Buffers up to *capacity* consecutive batches and merges duplicates.
+
+    ``push`` buffers one batch's request stream and returns the flushed
+    :class:`WindowedBatch` once the window fills (``None`` while it is
+    still filling); ``flush`` force-emits a partial window (end of
+    stream).  ``stream`` wraps both for an iterable of batches.
+
+    Args:
+        capacity: the scheduling window W — how many consecutive batches
+            may share one merge.  ``capacity=1`` reproduces per-batch
+            coalescing exactly.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be >= 1")
+        self._capacity = capacity
+        self._buffered: list[list[OccRequest]] = []
+
+    @property
+    def capacity(self) -> int:
+        """The window size W."""
+        return self._capacity
+
+    @property
+    def pending(self) -> int:
+        """Batches currently buffered, awaiting a flush."""
+        return len(self._buffered)
+
+    def push(self, requests: Sequence[OccRequest]) -> WindowedBatch | None:
+        """Buffer one batch; return the merged window once W are buffered."""
+        self._buffered.append(list(requests))
+        if len(self._buffered) >= self._capacity:
+            return self.flush()
+        return None
+
+    def flush(self) -> WindowedBatch | None:
+        """Merge and emit whatever is buffered (``None`` when empty)."""
+        if not self._buffered:
+            return None
+        issued = sum(len(batch) for batch in self._buffered)
+        batches = len(self._buffered)
+        pairs = sorted(
+            {(request.packed_kmer, request.pos) for batch in self._buffered for request in batch}
+        )
+        self._buffered = []
+        return WindowedBatch(
+            requests=tuple(OccRequest(packed_kmer=kmer, pos=pos) for kmer, pos in pairs),
+            batches=batches,
+            issued=issued,
+        )
+
+    def stream(
+        self, batch_streams: Iterable[Sequence[OccRequest]]
+    ) -> Iterator[WindowedBatch]:
+        """Windowed merge of an iterable of batch streams, trailing partial
+        window included."""
+        for batch in batch_streams:
+            flushed = self.push(batch)
+            if flushed is not None:
+                yield flushed
+        final = self.flush()
+        if final is not None:
+            yield final
+
+
+def windowed_request_stream(
+    batch_streams: Iterable[Sequence[OccRequest]], capacity: int
+) -> tuple[list[OccRequest], list[WindowedBatch]]:
+    """The full post-merge stream of *batch_streams* under window *capacity*,
+    plus the per-window flushes (for counting and sweeps)."""
+    window = CoalescingWindow(capacity)
+    flushes = list(window.stream(batch_streams))
+    requests = [request for flushed in flushes for request in flushed.requests]
+    return requests, flushes

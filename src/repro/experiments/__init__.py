@@ -6,6 +6,15 @@ from .fig06_prior import Fig6Result, run_fig6
 from .fig10_exma_tradeoff import ExmaSizeRow, Fig10Result, exma_size_sweep, run_fig10
 from .fig11_12_increments import Fig11_12Result, run_fig11_12
 from .fig13_index_error import ErrorComparison, Fig13Result, format_fig13, run_fig13
+from .fig15_window import (
+    Fig15Result,
+    Fig15Row,
+    ShardScalingRow,
+    format_fig15,
+    format_shard_scaling,
+    run_fig15_window,
+    run_shard_scaling,
+)
 from .fig18_throughput import (
     BatchingRow,
     Fig18Result,
@@ -50,6 +59,13 @@ __all__ = [
     "Fig13Result",
     "format_fig13",
     "run_fig13",
+    "Fig15Result",
+    "Fig15Row",
+    "ShardScalingRow",
+    "format_fig15",
+    "format_shard_scaling",
+    "run_fig15_window",
+    "run_shard_scaling",
     "Fig18Result",
     "Fig18Row",
     "BatchingRow",

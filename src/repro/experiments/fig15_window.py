@@ -1,0 +1,254 @@
+"""Fig. 15 — scheduling-window sweep: coalescing across consecutive batches.
+
+The paper's Fig. 15 sweeps the size of the scheduling window within which
+the accelerator may merge duplicate ``(k-mer, pos)`` requests: the wider
+the window, the longer the replayed stream and the more duplicates fall
+inside one merge.  At reproduction scale we generate a stream of
+consecutive query batches (consecutive read batches off one reference),
+run each through the batched engine — optionally sharded across a worker
+pool — and replay the per-batch request streams through a
+:class:`~repro.engine.window.CoalescingWindow` at each sweep point.
+
+Window capacities are swept in powers of two because aligned
+divide-each-other capacities make the post-merge request count provably
+monotone non-increasing in W (every 2W-window is the union of two aligned
+W-windows); the benchmark suite asserts exactly that.
+
+A second harness, :func:`run_shard_scaling`, times the sharded engine
+against the serial baseline on the same workload — the strong-scaling
+companion the sweep rows are validated against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..engine.backends import ExmaBackend
+from ..engine.engine import QueryEngine
+from ..engine.window import windowed_request_stream
+from ..exma.table import ExmaTable
+from ..genome.datasets import build_dataset
+from ..hw.cam import CamConfig
+from ..hw.scheduler import TwoStageScheduler
+from .common import DEFAULT_STEP, sample_queries
+
+__all__ = [
+    "Fig15Result",
+    "Fig15Row",
+    "ShardScalingRow",
+    "format_fig15",
+    "format_shard_scaling",
+    "run_fig15_window",
+    "run_shard_scaling",
+]
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    """One sweep point: the stream after a window of W batches."""
+
+    window: int
+    windows_flushed: int
+    #: Requests entering the window stage (post per-batch coalescing).
+    pre_merge_requests: int
+    #: Requests surviving the cross-batch merge.
+    post_merge_requests: int
+    #: CAM batches the 2-stage scheduler cuts the merged stream into.
+    scheduled_batches: int
+
+    @property
+    def merge_ratio(self) -> float:
+        """Pre-to-post request ratio (1.0 means nothing merged)."""
+        if self.post_merge_requests == 0:
+            return 1.0
+        return self.pre_merge_requests / self.post_merge_requests
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """The full sweep plus the workload shape it ran on."""
+
+    rows: list[Fig15Row]
+    batch_count: int
+    batch_size: int
+    shards: int
+    executor: str
+
+
+def _batch_streams(
+    engine: QueryEngine,
+    reference: str,
+    seed: int,
+    batch_count: int,
+    batch_size: int,
+    query_length: int,
+) -> list[list]:
+    """Per-batch coalesced request streams of consecutive read batches."""
+    streams = []
+    for batch_index in range(batch_count):
+        queries = sample_queries(
+            reference, count=batch_size, length=query_length, seed=seed + batch_index
+        )
+        requests, _stats = engine.request_stream(queries)
+        streams.append(requests)
+    return streams
+
+
+def run_fig15_window(
+    genome_length: int = 20_000,
+    seed: int = 0,
+    windows: tuple[int, ...] = (1, 2, 4, 8),
+    batch_count: int = 8,
+    batch_size: int = 32,
+    k: int = DEFAULT_STEP,
+    query_length: int = 48,
+    shards: int | None = None,
+    executor: str | None = None,
+    cam_entries: int = 64,
+) -> Fig15Result:
+    """Sweep the coalescing window over a stream of consecutive batches.
+
+    ``shards``/``executor`` follow the engine's semantics: ``None`` defers
+    to the ``REPRO_DEFAULT_SHARDS``/``REPRO_DEFAULT_EXECUTOR`` toggles and
+    invalid values are rejected at engine construction.
+    """
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    engine = QueryEngine(
+        ExmaBackend(table=ExmaTable(reference.sequence, k=k)),
+        shards=shards,
+        executor=executor,
+    )
+    streams = _batch_streams(
+        engine, reference.sequence, seed, batch_count, batch_size, query_length
+    )
+    pre_merge = sum(len(stream) for stream in streams)
+    rows = []
+    for window in windows:
+        merged, flushes = windowed_request_stream(streams, capacity=window)
+        scheduler = TwoStageScheduler(CamConfig(entries=cam_entries))
+        # The flushes already carry the post-merge stream; schedule those
+        # instead of re-deriving the window merge a second time.
+        scheduled = sum(1 for _ in scheduler.schedule(merged))
+        rows.append(
+            Fig15Row(
+                window=window,
+                windows_flushed=len(flushes),
+                pre_merge_requests=pre_merge,
+                post_merge_requests=len(merged),
+                scheduled_batches=scheduled,
+            )
+        )
+    return Fig15Result(
+        rows=rows,
+        batch_count=batch_count,
+        batch_size=batch_size,
+        shards=engine.shards,
+        executor=engine.executor,
+    )
+
+
+def format_fig15(result: Fig15Result) -> str:
+    """Render the window sweep table."""
+    lines = [
+        "Fig. 15 - coalescing-window sweep "
+        f"({result.batch_count} batches x {result.batch_size} queries, "
+        f"shards={result.shards}/{result.executor})"
+    ]
+    lines.append(
+        f"{'W':>3s} {'windows':>8s} {'pre':>8s} {'post':>8s} {'merge':>7s} {'CAM batches':>12s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.window:3d} {row.windows_flushed:8d} {row.pre_merge_requests:8d} "
+            f"{row.post_merge_requests:8d} {row.merge_ratio:6.2f}x {row.scheduled_batches:12d}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Shard scaling (serial baseline vs worker pools)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardScalingRow:
+    """Wall-clock of one shard count vs the serial baseline."""
+
+    shards: int
+    executor: str
+    seconds: float
+    serial_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial-to-sharded wall-clock ratio (> 1 means sharding wins)."""
+        return self.serial_seconds / max(self.seconds, 1e-12)
+
+
+def run_shard_scaling(
+    genome_length: int = 20_000,
+    seed: int = 0,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    executors: tuple[str, ...] = ("thread", "process"),
+    batch_size: int = 256,
+    k: int = DEFAULT_STEP,
+    query_length: int = 48,
+    repeats: int = 3,
+) -> list[ShardScalingRow]:
+    """Time sharded search against the serial engine on one batch.
+
+    Results are identical by construction (the equivalence suite enforces
+    it); this harness only measures wall-clock, best-of-*repeats*.  Note
+    the honest caveat for reproduction scale: the lockstep core is
+    numpy-vectorized and the references are tiny, so thread shards mostly
+    measure pool overhead and process shards pay a backend pickle per
+    worker — the rows exist to track the overhead and to validate scaling
+    claims on bigger workloads, as the SPEChpc harnesses do.
+    """
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    backend = ExmaBackend(table=ExmaTable(reference.sequence, k=k))
+    queries = sample_queries(
+        reference.sequence, count=batch_size, length=query_length, seed=seed
+    )
+    serial_engine = QueryEngine(backend, shards=1)
+    serial_engine.search_batch(queries)  # warm caches before timing
+    serial_seconds = min(_timed(lambda: serial_engine.search_batch(queries)) for _ in range(repeats))
+
+    rows = [
+        ShardScalingRow(
+            shards=1, executor="serial", seconds=serial_seconds, serial_seconds=serial_seconds
+        )
+    ]
+    for executor in executors:
+        for shards in shard_counts:
+            if shards <= 1:
+                continue
+            engine = QueryEngine(backend, shards=shards, executor=executor)
+            seconds = min(_timed(lambda: engine.search_batch(queries)) for _ in range(repeats))
+            rows.append(
+                ShardScalingRow(
+                    shards=shards,
+                    executor=executor,
+                    seconds=seconds,
+                    serial_seconds=serial_seconds,
+                )
+            )
+    return rows
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def format_shard_scaling(rows: list[ShardScalingRow]) -> str:
+    """Render the shard-scaling table."""
+    lines = ["Shard scaling - sharded vs serial engine (identical results)"]
+    lines.append(f"{'shards':>7s} {'executor':>9s} {'ms':>9s} {'speedup':>8s}")
+    for row in rows:
+        lines.append(
+            f"{row.shards:7d} {row.executor:>9s} {row.seconds * 1e3:9.2f} {row.speedup:7.2f}x"
+        )
+    return "\n".join(lines)

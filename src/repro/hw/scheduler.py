@@ -18,8 +18,9 @@ that do not fit are scheduled in a later batch, which is what limits the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol, Sequence
 
+from ..engine.window import CoalescingWindow
 from ..exma.search import OccRequest
 from .cam import CamConfig, SchedulingQueue
 
@@ -91,6 +92,36 @@ class TwoStageScheduler:
             queue.sort_by_pos()
             stage2 = tuple(queue.drain())
             yield ScheduledBatch(stage1=stage1, stage2=stage2)
+
+
+class RequestScheduler(Protocol):
+    """What both schedulers expose (for windowed scheduling helpers)."""
+
+    def schedule(self, requests: Iterable[OccRequest]) -> Iterator[ScheduledBatch]:
+        ...
+
+
+def schedule_windowed(
+    scheduler: RequestScheduler,
+    batch_streams: Iterable[Sequence[OccRequest]],
+    window: int | CoalescingWindow = 1,
+) -> Iterator[ScheduledBatch]:
+    """Schedule consecutive batch streams through a coalescing window.
+
+    The engine emits one request stream per query batch; before those
+    streams reach the CAM they pass a :class:`CoalescingWindow` of W
+    consecutive batches, so each unique ``(k-mer, pos)`` pair of a window
+    is scheduled exactly once (the Fig. 15 sweep knob).  *window* may be a
+    capacity or a prebuilt window instance.
+    """
+    if isinstance(window, int):
+        window = CoalescingWindow(window)
+
+    def merged() -> Iterator[OccRequest]:
+        for flushed in window.stream(batch_streams):
+            yield from flushed.requests
+
+    yield from scheduler.schedule(merged())
 
 
 def pair_requests_by_kmer(batch: tuple[OccRequest, ...]) -> list[tuple[OccRequest, bool]]:

@@ -95,3 +95,47 @@ class TestExperimentCommand:
         exit_code = main(["experiment", "fig13", "--genome-length", "6000"])
         assert exit_code == 0
         assert "MTL" in capsys.readouterr().out
+
+
+class TestShardingFlags:
+    def test_search_sharded_matches_serial_output(self, capsys):
+        genome = random_genome(2000, seed=5)
+        query = genome[100:116]
+        args = [
+            "search", "--genome-length", "2000", "--seed", "5", "--step", "4",
+            "--no-index", "--queries", query,
+        ]
+        # Pin the baseline to serial so the comparison also holds when the
+        # suite itself runs under REPRO_DEFAULT_SHARDS (the CI matrix job).
+        assert main(args + ["--shards", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--shards", "3", "--executor", "thread"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert "sharded: 3 shards via thread executor" in sharded_out
+        # Everything but the sharding banner is identical: same counts,
+        # same positions, same coalescing counters.
+        assert [line for line in sharded_out.splitlines() if not line.startswith("sharded:")] \
+            == serial_out.splitlines()
+
+    def test_parser_accepts_window_and_sharding_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["experiment", "fig15-window", "--window", "4", "--shards", "2",
+             "--executor", "process"]
+        )
+        assert args.window == 4
+        assert args.shards == 2
+        assert args.executor == "process"
+
+    def test_parser_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--queries", "ACGT", "--executor", "gpu"])
+
+    def test_fig15_window_experiment_runs(self, capsys):
+        exit_code = main(
+            ["experiment", "fig15-window", "--genome-length", "4000", "--window", "2"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "coalescing-window sweep" in out
+        assert " 1 " in out and " 2 " in out

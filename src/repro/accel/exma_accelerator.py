@@ -18,6 +18,7 @@ cache hit rates and energy — the quantities behind Figs. 18, 20, 21 and 22.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..exma.chain import compression_ratio as chain_ratio
 from ..exma.mtl_index import MTLIndex
@@ -153,14 +154,17 @@ class ExmaAccelerator:
 
     def run(
         self,
-        requests: list[OccRequest],
+        requests: "Sequence[OccRequest]",
         name: str = "EXMA",
         bases_processed: int | None = None,
     ) -> AcceleratorRunResult:
         """Replay *requests* and return the measured statistics.
 
         Args:
-            requests: the Occ request stream to replay.
+            requests: the Occ request stream to replay — a list, or the
+                engine's columnar :class:`~repro.engine.coalesce
+                .RequestStream` (materialised lazily as the schedulers
+                iterate it).
             bases_processed: DNA bases the stream represents.  Defaults to
                 the pre-coalescing estimate ``len(requests) * k / 2``; pass
                 the issued-request count explicitly when replaying a

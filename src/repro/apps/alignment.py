@@ -11,11 +11,16 @@ breakdown and the Fig. 19 application-speedup model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass
 
 from ..engine.backends import FMIndexBackend
-from ..engine.sharded import default_executor, default_shards, run_sharded
+from ..engine.engine import WorkerPoolOwner
+from ..engine.sharded import (
+    default_executor,
+    default_shards,
+    effective_shards,
+    split_shards,
+)
 from ..genome.alphabet import reverse_complement
 from ..genome.reads import SimulatedRead
 from ..index.fmindex import FMIndex, Seed
@@ -65,7 +70,7 @@ class AlignerCounters:
         self.fm_index_iterations += other.fm_index_iterations
 
 
-class ReadAligner:
+class ReadAligner(WorkerPoolOwner):
     """Aligns reads against a reference using FM-Index seeding.
 
     Args:
@@ -109,6 +114,9 @@ class ReadAligner:
             raise ValueError("shards must be >= 1")
         self._shards = shards
         self._executor = executor
+        #: Persistent seeding pool (WorkerPoolOwner), created lazily on
+        #: the first sharded batch and reused for every subsequent one.
+        self._pool = None
 
     @property
     def fm_index(self) -> FMIndex:
@@ -142,11 +150,14 @@ class ReadAligner:
         not pay a pool spin-up per call when the environment toggle turns
         sharding on globally.
         """
-        shards = self._shards if self._shards is not None else default_shards()
+        shards = effective_shards(
+            self._shards if self._shards is not None else default_shards()
+        )
         if shards > 1 and len(oriented) >= 2 * shards:
             executor = self._executor if self._executor is not None else default_executor()
-            outputs = run_sharded(
-                partial(_mem_shard, self._backend, self._min_seed), oriented, shards, executor
+            pool = self._ensure_pool(shards, executor)
+            outputs = pool.map_shards(
+                _mem_shard, split_shards(oriented, shards), self._min_seed
             )
             return [seeds for shard_seeds in outputs for seeds in shard_seeds]
         return self._backend.maximal_exact_matches_batch(oriented, min_length=self._min_seed)

@@ -46,7 +46,8 @@ class ExactWordAnnotator:
     locate per word.  Results are identical to per-word search.  Passing
     ``shards`` opts the default engine into the sharded parallel path
     (word sets are the repository's largest batches); results stay
-    identical to serial.
+    identical to serial, and the engine keeps one persistent worker pool
+    across annotate calls rather than spinning a pool per batch.
     """
 
     def __init__(

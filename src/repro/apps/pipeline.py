@@ -100,8 +100,9 @@ def run_application(
     paper evaluates them once per dataset); alignment and assembly use
     reads simulated with *profile*.  ``shards``/``executor`` opt the
     FM-Index-heavy applications (alignment seeding, annotation word
-    batches) into the sharded parallel engine path; work counters are
-    identical either way.
+    batches) into the sharded parallel engine path — each holds one
+    persistent worker pool for its run — and work counters are identical
+    either way.
     """
     if application not in APPLICATIONS:
         raise ValueError(f"unknown application {application!r}")

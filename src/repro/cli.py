@@ -42,6 +42,7 @@ EXPERIMENT_NAMES = (
     "fig18-batching",
     "fig21",
     "fig23",
+    "shard-scaling",
     "table2",
 )
 
@@ -86,6 +87,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="largest coalescing window W for fig15-window (sweeps powers of two up to W)",
+    )
+    experiment.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="queries per batch for shard-scaling",
+    )
+    experiment.add_argument(
+        "--query-length",
+        type=int,
+        default=48,
+        help="query length for shard-scaling",
+    )
+    experiment.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats (best-of) for shard-scaling",
+    )
+    experiment.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the shard-scaling record to PATH as JSON",
     )
     _add_sharding_flags(experiment)
 
@@ -195,6 +220,31 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 ex.run_fig18_batching(genome_length=args.genome_length, seed=args.seed)
             )
         )
+    elif name == "shard-scaling":
+        shard_counts = tuple(sorted({1, 2, args.shards or 4}))
+        executors = (args.executor,) if args.executor else ("thread", "process")
+        rows = ex.run_shard_scaling(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            shard_counts=shard_counts,
+            executors=executors,
+            batch_size=args.batch_size,
+            query_length=args.query_length,
+            repeats=args.repeats,
+            include_forced=True,
+        )
+        print(ex.format_shard_scaling(rows))
+        if args.json:
+            ex.write_shard_scaling_json(
+                args.json,
+                rows,
+                genome_length=args.genome_length,
+                batch_size=args.batch_size,
+                query_length=args.query_length,
+                seed=args.seed,
+                repeats=args.repeats,
+            )
+            print(f"wrote {args.json}")
     elif name == "fig21":
         for device, value in ex.run_fig21().items():
             print(f"  {device:6s} {value * 100:5.1f}%")

@@ -24,14 +24,25 @@ from .backends import (
     create_backend,
     register_backend,
 )
-from .coalesce import BatchStats, BatchTrace, CoalescedStep, coalesce_requests
-from .engine import BatchResult, QueryEngine
+from .coalesce import (
+    BatchStats,
+    BatchTrace,
+    CoalescedStep,
+    RequestStream,
+    StepContribution,
+    StepTrace,
+    TailContribution,
+    coalesce_requests,
+)
+from .engine import BatchResult, QueryEngine, WorkerPoolOwner
 from .sharded import (
     EXECUTORS,
+    BackendWorkerPool,
     ShardedQueryEngine,
     default_executor,
     default_shards,
     merge_shard_stats,
+    merge_traces,
     run_sharded,
     run_sharded_batch,
     split_shards,
@@ -39,6 +50,7 @@ from .sharded import (
 from .window import CoalescingWindow, WindowedBatch, windowed_request_stream
 
 __all__ = [
+    "BackendWorkerPool",
     "BatchResult",
     "BatchStats",
     "BatchTrace",
@@ -49,15 +61,21 @@ __all__ = [
     "FMIndexBackend",
     "LisaBackend",
     "QueryEngine",
+    "RequestStream",
     "SearchBackend",
     "ShardedQueryEngine",
+    "StepContribution",
+    "StepTrace",
+    "TailContribution",
     "WindowedBatch",
+    "WorkerPoolOwner",
     "available_backends",
     "coalesce_requests",
     "create_backend",
     "default_executor",
     "default_shards",
     "merge_shard_stats",
+    "merge_traces",
     "register_backend",
     "run_sharded",
     "run_sharded_batch",

@@ -21,10 +21,22 @@ import numpy as np
 
 from ..exma.search import OccIndex
 from ..exma.table import ExmaTable
-from ..genome.alphabet import FULL_ALPHABET, SENTINEL, encode, pack_kmer, unpack_kmer
+from ..genome.alphabet import (
+    FULL_ALPHABET,
+    SENTINEL,
+    AlphabetError,
+    encode,
+    pack_kmer,
+    unpack_kmer,
+)
 from ..index.fmindex import FMIndex, Interval
 from ..lisa.search import LisaIndex
-from .coalesce import BatchStats, BatchTrace, coalesce_requests
+from .coalesce import (
+    BatchStats,
+    StepContribution,
+    TailContribution,
+    coalesce_requests,
+)
 
 __all__ = [
     "SearchBackend",
@@ -85,24 +97,6 @@ class SearchBackend(abc.ABC):
     ) -> list[int]:
         """Occurrence count of every query."""
         return [interval.count for interval in self.search_batch(queries, stats)]
-
-    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
-        """Re-account a (merged) step trace's resolution costs into *stats*.
-
-        Given the per-step unique ``(kmer, pos)`` sets and distinct tails
-        of a batch — typically the step-aligned union of several shards'
-        traces — redo exactly the accounting the serial lockstep loop
-        performs for them: base reads, increment-entry reads, index
-        predictions and their errors, binary comparisons.  The per-query
-        counters (``queries``, ``iterations``, ``occ_requests_issued``)
-        and the stream bookkeeping (``lockstep_iterations``,
-        ``occ_requests_unique``, ``requests``) are shard-decomposable and
-        are NOT touched here — :func:`repro.engine.sharded
-        .merge_shard_stats` derives them directly.
-        """
-        raise NotImplementedError(
-            f"backend {type(self).__name__} does not support sharded stats replay"
-        )
 
     @staticmethod
     def _validate(queries: Sequence[str]) -> None:
@@ -240,15 +234,11 @@ class FMIndexBackend(SearchBackend):
 
             if stats is not None:
                 stats.iterations += n_active
-                stats.base_reads += int(np.unique(step.kmers).size)
+                # One gather from the dense Occ table per unique symbol per
+                # step: record_step charges exactly that base-read rule.
                 stats.record_step(step)
 
         return [Interval(int(low), int(high)) for low, high in zip(lows, highs)]
-
-    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
-        # One gather from the dense Occ table per unique symbol per step.
-        for kmers, _positions in trace.steps:
-            stats.base_reads += int(np.unique(kmers).size)
 
     # ------------------------------------------------------------------ #
     # Batched seeding
@@ -392,6 +382,7 @@ class ExmaBackend(SearchBackend):
         self._span = table.reference_length + 1
         self._augmented: np.ndarray | None = None
         self._offsets: np.ndarray | None = None
+        self._frequencies: np.ndarray | None = None
 
     @property
     def table(self) -> ExmaTable:
@@ -412,21 +403,35 @@ class ExmaBackend(SearchBackend):
         return self._table.locate(interval.low, high)
 
     def _chunk_matrix(self, queries: Sequence[str]) -> tuple[np.ndarray, np.ndarray, list[str]]:
-        """Pack every query's full k-chunks right-to-left, padded with -1."""
+        """Pack every query's full k-chunks right-to-left, padded with -1.
+
+        The bodies are encoded once, right-aligned into one code matrix
+        and packed with a single reshape + matmul against the 2-bit place
+        values — no per-chunk Python packing.  Right alignment makes slot
+        ``max_steps - 1 - j`` of every row the j-th chunk consumed by the
+        lockstep loop, regardless of query length.
+        """
         k = self._table.k
-        leftovers = []
-        chunk_lists = []
-        for query in queries:
-            leftover = len(query) % k
-            leftovers.append(query[len(query) - leftover :] if leftover else "")
-            body = query[: len(query) - leftover]
-            chunk_lists.append(
-                [pack_kmer(body[right - k : right]) for right in range(len(body), 0, -k)]
-            )
-        steps = np.array([len(chunks) for chunks in chunk_lists], dtype=np.int64)
-        matrix = np.full((len(queries), int(steps.max(initial=0))), -1, dtype=np.int64)
-        for i, chunks in enumerate(chunk_lists):
-            matrix[i, : len(chunks)] = chunks
+        n_queries = len(queries)
+        lengths = np.array([len(query) for query in queries], dtype=np.int64)
+        steps = lengths // k
+        max_steps = int(steps.max(initial=0))
+        width = max_steps * k
+        aligned = np.zeros((n_queries, width), dtype=np.int64)
+        leftovers: list[str] = []
+        for i, query in enumerate(queries):
+            body = len(query) - len(query) % k
+            leftovers.append(query[body:])
+            if body:
+                aligned[i, width - body :] = encode(query[:body])
+        body_mask = np.arange(width) >= width - (steps * k)[:, None]
+        if np.any((aligned == 0) & body_mask):
+            raise AlphabetError("invalid k-mer symbol: '$'")
+        place_values = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        packed = (aligned - 1).reshape(n_queries, max_steps, k) @ place_values
+        matrix = np.where(
+            steps[:, None] > np.arange(max_steps), packed[:, ::-1], np.int64(-1)
+        )
         return matrix, steps, leftovers
 
     def search_batch(
@@ -456,8 +461,7 @@ class ExmaBackend(SearchBackend):
                 bounds = self._table.prefix_interval(tail)
                 tail_cache[tail] = bounds
                 if stats is not None:
-                    stats.base_reads += 1
-                    stats.record_tail(tail)
+                    stats.record_tail(tail, TailContribution(base_reads=1))
             lows[i], highs[i] = bounds
             if stats is not None:
                 stats.iterations += 1
@@ -474,7 +478,7 @@ class ExmaBackend(SearchBackend):
                 np.concatenate([lows[active], highs[active]]),
                 span=n + 1,
             )
-            occ_unique = self._resolve_unique(step.kmers, step.positions, stats)
+            occ_unique = self._resolve_unique(step.kmers, step.positions)
             occ_all = step.scatter(occ_unique)
 
             counts = self._table.count_table()[packed]
@@ -485,19 +489,11 @@ class ExmaBackend(SearchBackend):
 
             if stats is not None:
                 stats.iterations += n_active
-                stats.record_step(step)
+                stats.record_step(
+                    step, self._step_contribution(step.kmers, step.positions, occ_unique)
+                )
 
         return [Interval(int(low), int(high)) for low, high in zip(lows, highs)]
-
-    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
-        # Distinct tails cost one per-k-mer count read each, exactly as
-        # the tail cache accounts them on a miss.
-        stats.base_reads += len(trace.tails)
-        # Re-resolving each step's merged unique set runs the serial
-        # accounting verbatim (base reads per unique k-mer group,
-        # increment-entry reads, predictions and errors).
-        for kmers, positions in trace.steps:
-            self._resolve_unique(kmers, positions, stats)
 
     def _augmented_increments(self) -> tuple[np.ndarray, np.ndarray]:
         """The increment array offset into per-k-mer key ranges (cached).
@@ -521,45 +517,54 @@ class ExmaBackend(SearchBackend):
         assert self._offsets is not None
         return self._augmented, self._offsets
 
-    def _resolve_unique(
-        self, kmers: np.ndarray, positions: np.ndarray, stats: BatchStats | None
-    ) -> np.ndarray:
+    def _resolve_unique(self, kmers: np.ndarray, positions: np.ndarray) -> np.ndarray:
         """Answer each unique (kmer, pos) request exactly once."""
         augmented, offsets = self._augmented_increments()
         keys = kmers * self._span + positions
-        occ_values = (np.searchsorted(augmented, keys, side="left") - offsets[kmers]).astype(
+        return (np.searchsorted(augmented, keys, side="left") - offsets[kmers]).astype(
             np.int64
         )
-        if stats is not None:
-            self._account(kmers, positions, occ_values, stats)
-        return occ_values
 
-    def _account(
-        self,
-        kmers: np.ndarray,
-        positions: np.ndarray,
-        occ_values: np.ndarray,
-        stats: BatchStats,
-    ) -> None:
-        """Cost accounting per unique k-mer group (k-mer-major order)."""
+    def _step_contribution(
+        self, kmers: np.ndarray, positions: np.ndarray, occ_values: np.ndarray
+    ) -> StepContribution:
+        """Per-unique-request resolution costs of one step, k-mer-major.
+
+        Exact resolution reads ceil-log2 of the k-mer's increment-list
+        length per request (binary search), computed for the whole step at
+        once: ``frexp`` exponents are exactly ``bit_length`` for the int64
+        frequencies.  Modelled k-mers (learned / MTL index) instead read
+        the predicted entry plus successor plus the linear overshoot, and
+        contribute one prediction with its error per request.
+        """
+        if self._frequencies is None:
+            # frequencies() copies the 4^k counts table; fetch it once per
+            # backend, not once per lockstep step.
+            self._frequencies = self._table.frequencies()
+        freqs = self._frequencies[kmers]
+        entries = np.maximum(
+            1, np.frexp(freqs.astype(np.float64))[1].astype(np.int64)
+        )
+        if self._index is None:
+            return StepContribution(entries=entries)
+        predicted_mask: np.ndarray | None = None
+        errors: np.ndarray | None = None
         unique_kmers, starts = np.unique(kmers, return_index=True)
         boundaries = np.append(starts, kmers.size)
         for g, packed in enumerate(unique_kmers.tolist()):
+            if not self._index.has_model(packed):
+                continue
             begin, end = int(boundaries[g]), int(boundaries[g + 1])
-            group_positions = positions[begin:end]
-            stats.base_reads += 1
-            if self._index is not None and self._index.has_model(packed):
-                predicted = self._predict_batch(packed, group_positions)
-                errors = np.abs(occ_values[begin:end] - predicted)
-                stats.index_predictions += int(group_positions.size)
-                stats.prediction_errors.extend(int(e) for e in errors)
-                # Predicted entry + successor, plus the linear overshoot.
-                stats.increment_entries_read += int((2 + errors).sum())
-            else:
-                count = self._table.frequency(packed)
-                stats.increment_entries_read += int(group_positions.size) * max(
-                    1, count.bit_length()
-                )
+            prediction = self._predict_batch(packed, positions[begin:end])
+            group_errors = np.abs(occ_values[begin:end] - prediction)
+            if predicted_mask is None:
+                predicted_mask = np.zeros(kmers.size, dtype=bool)
+                errors = np.zeros(kmers.size, dtype=np.int64)
+            predicted_mask[begin:end] = True
+            errors[begin:end] = group_errors
+            # Predicted entry + successor, plus the linear overshoot.
+            entries[begin:end] = 2 + group_errors
+        return StepContribution(entries=entries, predicted=predicted_mask, errors=errors)
 
     def _predict_batch(self, packed: int, positions: np.ndarray) -> np.ndarray:
         """Vectorized index prediction, falling back to per-position calls."""
@@ -657,17 +662,6 @@ class LisaBackend(SearchBackend):
             interval = Interval(interval.low, min(interval.high, interval.low + limit))
         return self._lisa.ipbwt.locate(interval)
 
-    def _lower_bound(self, chunk: str, pos: int, stats: BatchStats | None) -> int:
-        """One lower bound through :meth:`LisaIndex.lower_bound` + stats."""
-        value, cost = self._lisa.lower_bound(chunk, pos)
-        if stats is not None:
-            if self._lisa.learned_index is None:
-                stats.binary_comparisons += cost
-            else:
-                stats.index_predictions += 1
-                stats.prediction_errors.append(cost)
-        return value
-
     def search_batch(
         self, queries: Sequence[str], stats: BatchStats | None = None
     ) -> list[Interval]:
@@ -694,18 +688,30 @@ class LisaBackend(SearchBackend):
             stats.queries += n_queries
 
         # Trailing partial chunks, coalesced by tail (LISA padding rule).
+        # Each distinct tail costs two lower bounds, recorded with their
+        # costs so the sharded merge re-accounts them without a replay.
         tail_cache: dict[str, tuple[int, int]] = {}
         for i, tail in enumerate(leftovers):
             if not tail:
                 continue
             bounds = tail_cache.get(tail)
             if bounds is None:
-                low = self._lower_bound(self._lisa.padded_chunk(tail, smallest=True), 0, stats)
-                high = self._lower_bound(self._lisa.padded_chunk(tail, smallest=False), n, stats)
+                low, low_cost = self._lisa.lower_bound(
+                    self._lisa.padded_chunk(tail, smallest=True), 0
+                )
+                high, high_cost = self._lisa.lower_bound(
+                    self._lisa.padded_chunk(tail, smallest=False), n
+                )
                 bounds = (low, high)
                 tail_cache[tail] = bounds
                 if stats is not None:
-                    stats.record_tail(tail)
+                    if self._lisa.learned_index is None:
+                        contribution = TailContribution(comparisons=low_cost + high_cost)
+                    else:
+                        contribution = TailContribution(
+                            predictions=2, errors=(low_cost, high_cost)
+                        )
+                    stats.record_tail(tail, contribution)
             lows[i], highs[i] = bounds
             if stats is not None:
                 stats.iterations += 1
@@ -732,18 +738,24 @@ class LisaBackend(SearchBackend):
                 np.array([lows[i] for i in issuers] + [highs[i] for i in issuers]),
                 span=n + 1,
             )
-            bounds = np.array(
-                [
-                    self._lower_bound(unpack_kmer(int(kmer), k), int(pos), stats)
-                    for kmer, pos in zip(step.kmers, step.positions)
-                ],
-                dtype=np.int64,
-            )
+            bounds = np.empty(step.unique, dtype=np.int64)
+            costs = np.empty(step.unique, dtype=np.int64)
+            for slot, (kmer, pos) in enumerate(
+                zip(step.kmers.tolist(), step.positions.tolist())
+            ):
+                bounds[slot], costs[slot] = self._lisa.lower_bound(
+                    unpack_kmer(kmer, k), pos
+                )
             bounds_all = step.scatter(bounds)
             if stats is not None:
                 stats.iterations += len(issuers)
-                stats.base_reads += int(np.unique(step.kmers).size)
-                stats.record_step(step)
+                if self._lisa.learned_index is None:
+                    contribution = StepContribution(comparisons=costs)
+                else:
+                    contribution = StepContribution(
+                        predicted=np.ones(step.unique, dtype=bool), errors=costs
+                    )
+                stats.record_step(step, contribution)
             for slot, i in enumerate(issuers):
                 lows[i] = int(bounds_all[slot])
                 highs[i] = int(bounds_all[slot + len(issuers)])
@@ -751,19 +763,6 @@ class LisaBackend(SearchBackend):
                     alive[i] = False
 
         return [Interval(low, high) for low, high in zip(lows, highs)]
-
-    def replay_trace(self, trace: BatchTrace, stats: BatchStats) -> None:
-        n = len(self._lisa.ipbwt)
-        # Tails first, as the serial pass resolves them before the
-        # lockstep loop (each distinct tail costs two lower bounds).
-        for tail in trace.tails:
-            self._lower_bound(self._lisa.padded_chunk(tail, smallest=True), 0, stats)
-            self._lower_bound(self._lisa.padded_chunk(tail, smallest=False), n, stats)
-        k = self._lisa.k
-        for kmers, positions in trace.steps:
-            stats.base_reads += int(np.unique(kmers).size)
-            for kmer, pos in zip(kmers, positions):
-                self._lower_bound(unpack_kmer(int(kmer), k), int(pos), stats)
 
 
 @register_backend("lisa-learned")

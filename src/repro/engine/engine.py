@@ -48,23 +48,84 @@ class BatchResult:
         return sum(1 for interval in self.intervals if not interval.empty)
 
 
-class QueryEngine:
+class WorkerPoolOwner:
+    """Owns one persistent shard worker pool bound to ``self._backend``.
+
+    The single implementation of the pool-owner lifecycle every holder
+    (the engines, the read aligner) mixes in: the pool is created lazily
+    on the first multi-shard call, reused across calls, transparently
+    replaced when the effective executor kind or worker count changes
+    (e.g. environment toggles), and released by ``close()``, context-
+    manager exit or garbage collection.  Hosts must provide a
+    ``_backend`` attribute.
+    """
+
+    _pool = None
+
+    @property
+    def worker_pool(self):
+        """The owned persistent pool (``None`` until the first multi-shard
+        call creates it, or after :meth:`close`)."""
+        return self._pool
+
+    def _ensure_pool(self, shards: int, executor: str):
+        from .sharded import BackendWorkerPool
+
+        self._pool = BackendWorkerPool.ensure(self._pool, self._backend, executor, shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The owner remains usable: the next sharded call simply creates a
+        fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+
+class QueryEngine(WorkerPoolOwner):
     """Batched exact-match search through a pluggable backend.
 
     Args:
         backend: a prebuilt backend, or ``None`` to build one by name.
         name: registry name used when *backend* is omitted.
         reference: reference string used when *backend* is omitted.
-        shards: split batches into this many shards and search them in a
-            worker pool (see :mod:`repro.engine.sharded`); results are
-            identical to the serial path.  ``None`` (the default) defers
-            to the ``REPRO_DEFAULT_SHARDS`` environment toggle, which
-            defaults to 1 (serial).
+        shards: split batches into up to this many shards and search them
+            in a persistent worker pool (see :mod:`repro.engine.sharded`);
+            results are identical to the serial path.  The count is an
+            *upper bound*: the engine clamps it to the CPUs actually
+            available (``min(shards, CPUs)``), because oversubscribing a
+            host buys no parallelism and still pays the split/merge
+            overhead — set ``REPRO_SHARD_OVERSUBSCRIBE=1`` or use
+            :class:`~repro.engine.sharded.ShardedQueryEngine` to force the
+            full split.  ``None`` (the default) defers to the
+            ``REPRO_DEFAULT_SHARDS`` environment toggle, which defaults to
+            1 (serial).
         executor: ``"thread"`` or ``"process"`` worker pool for the
             sharded path; ``None`` defers to ``REPRO_DEFAULT_EXECUTOR``
             (default ``"thread"``).
         **kwargs: forwarded to the backend factory.
     """
+
+    #: Whether this engine clamps its shard count to the hardware; the
+    #: explicit :class:`~repro.engine.sharded.ShardedQueryEngine` opts out.
+    _adaptive = True
 
     def __init__(
         self,
@@ -92,6 +153,8 @@ class QueryEngine:
         self._backend = backend
         self._shards = shards
         self._executor = executor
+        #: Lazily created persistent worker pool for the sharded path.
+        self._pool = None
 
     @classmethod
     def from_reference(cls, reference: str, name: str = "fmindex", **kwargs) -> "QueryEngine":
@@ -105,12 +168,28 @@ class QueryEngine:
 
     @property
     def shards(self) -> int:
-        """Effective shard count (pinned, or the environment default)."""
+        """Configured shard count (pinned, or the environment default)."""
         if self._shards is not None:
             return self._shards
         from .sharded import default_shards
 
         return default_shards()
+
+    @property
+    def effective_shards(self) -> int:
+        """The shard count batches actually run with.
+
+        For the adaptive engine this is the configured count clamped to
+        the available CPUs (see :func:`repro.engine.sharded
+        .effective_shards`); :class:`~repro.engine.sharded
+        .ShardedQueryEngine` always uses the configured count.
+        """
+        shards = self.shards
+        if shards > 1 and self._adaptive:
+            from .sharded import effective_shards
+
+            return effective_shards(shards)
+        return shards
 
     @property
     def executor(self) -> str:
@@ -129,15 +208,21 @@ class QueryEngine:
         """Search a batch of queries in lockstep, with request coalescing.
 
         Dispatches to the sharded parallel path when the engine (or the
-        ``REPRO_DEFAULT_SHARDS`` toggle) asks for more than one shard;
-        intervals and stats are identical either way.
+        ``REPRO_DEFAULT_SHARDS`` toggle) asks for — and the hardware can
+        run — more than one shard; intervals and stats are identical
+        either way.
         """
-        shards = self.shards
+        shards = self.effective_shards
         if shards > 1:
             from .sharded import run_sharded_batch
 
+            executor = self.executor
             return run_sharded_batch(
-                self._backend, queries, shards=shards, executor=self.executor
+                self._backend,
+                queries,
+                shards=shards,
+                executor=executor,
+                pool=self._ensure_pool(shards, executor),
             )
         stats = BatchStats()
         intervals = self._backend.search_batch(list(queries), stats)

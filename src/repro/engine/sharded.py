@@ -4,23 +4,33 @@ The lockstep core is embarrassingly parallel across *query* shards: a
 query's ``(low, high)`` interval trajectory depends only on the query and
 the index, never on which other queries share its batch.  This module
 exploits that by splitting a batch into contiguous shards, running each
-shard's lockstep search in a :mod:`concurrent.futures` pool (threads, or
-processes with picklable backend handles) and merging the per-shard
-results back into one :class:`~repro.engine.engine.BatchResult` that is
-**byte-identical** to what the serial engine would have produced:
+shard's lockstep search in a long-lived worker pool and merging the
+per-shard results back into one :class:`~repro.engine.engine.BatchResult`
+that is **byte-identical** to what the serial engine would have produced
+— without ever re-running the search or its accounting:
 
 * intervals are trivially order-preserving (contiguous split + ordered
   gather);
 * the shard-decomposable counters (``queries``, ``iterations``,
   ``occ_requests_issued``) are plain sums;
-* the coalescing-dependent state (unique request counts, the request
-  stream, base/increment-read accounting, prediction errors) is rebuilt
-  from the shards' step-aligned :class:`~repro.engine.coalesce.BatchTrace`
-  records: lockstep step *t* consumes the same symbol/chunk of every
-  query in every shard, so the union of the shards' unique request sets
-  at step *t* is exactly the serial batch's unique set at step *t*, and
-  :meth:`~repro.engine.backends.SearchBackend.replay_trace` re-runs the
-  serial accounting over those merged sets.
+* the coalescing-dependent state is rebuilt by **contribution dedupe**:
+  while a shard runs, its :class:`~repro.engine.coalesce.BatchTrace`
+  records each step's packed ``(kmer, pos)`` keys together with the
+  per-unique-request accounting contributions (increment entries,
+  predictions and errors, binary comparisons — values that depend only on
+  the request and the index, never on the batch).  Lockstep step *t*
+  consumes the same symbol/chunk of every query in every shard, so one
+  vectorized ``np.unique`` over the shards' packed keys at step *t*
+  recovers exactly the serial batch's unique set — and selecting each
+  surviving key's contribution once re-creates the serial accounting.
+  No ``replay_trace`` pass, no second trip through the index.
+
+Execution is persistent: a :class:`BackendWorkerPool` owns one
+thread/process pool for the lifetime of its engine (lazily created,
+reusable across every ``search_batch`` call, closable as a context
+manager).  The process pool ships the backend **once** per worker through
+the pool initializer — submitted calls carry only their shard of queries,
+not a fresh pickle of the index.
 
 The equivalence is locked down by the property-based suite in
 ``tests/test_sharded.py`` (all six backends, any shard count, both
@@ -32,26 +42,35 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from functools import partial
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-from ..exma.search import OccRequest
 from ..index.fmindex import Interval
 from .backends import SearchBackend
-from .coalesce import BatchStats, BatchTrace
+from .coalesce import (
+    BatchStats,
+    BatchTrace,
+    StepContribution,
+    StepTrace,
+    TailContribution,
+)
 from .engine import BatchResult, QueryEngine
 
 __all__ = [
     "EXECUTORS",
     "EXECUTOR_ENV",
+    "OVERSUBSCRIBE_ENV",
     "SHARDS_ENV",
+    "BackendWorkerPool",
     "ShardedQueryEngine",
+    "available_parallelism",
     "default_executor",
     "default_shards",
+    "effective_shards",
     "merge_shard_stats",
     "merge_traces",
+    "oversubscribed",
     "run_sharded",
     "run_sharded_batch",
     "split_shards",
@@ -65,10 +84,17 @@ EXECUTORS = ("thread", "process")
 
 #: Environment toggles: default shard count / executor used by every
 #: :class:`QueryEngine` that does not pin its own.  CI runs the quick
-#: suite with ``REPRO_DEFAULT_SHARDS=4`` so the parallel path is exercised
-#: by the whole existing test matrix, not just the dedicated suite.
+#: suite with ``REPRO_DEFAULT_SHARDS=4`` (thread) and with
+#: ``REPRO_DEFAULT_EXECUTOR=process REPRO_DEFAULT_SHARDS=2`` so both
+#: persistent-pool paths are exercised by the whole existing test matrix,
+#: not just the dedicated suite.
 SHARDS_ENV = "REPRO_DEFAULT_SHARDS"
 EXECUTOR_ENV = "REPRO_DEFAULT_EXECUTOR"
+
+#: When set truthy, :func:`effective_shards` stops clamping shard counts
+#: to the hardware — CI's sharded legs set it so the parallel path is
+#: exercised even on single-core runners.
+OVERSUBSCRIBE_ENV = "REPRO_SHARD_OVERSUBSCRIBE"
 
 
 def default_shards() -> int:
@@ -83,6 +109,37 @@ def default_executor() -> str:
     """Executor engines use when not pinned (``REPRO_DEFAULT_EXECUTOR``)."""
     executor = os.environ.get(EXECUTOR_ENV, "thread")
     return executor if executor in EXECUTORS else "thread"
+
+
+def available_parallelism() -> int:
+    """CPUs actually available to this process (affinity/cgroup aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+def oversubscribed() -> bool:
+    """Whether ``REPRO_SHARD_OVERSUBSCRIBE`` disables the hardware clamp."""
+    return os.environ.get(OVERSUBSCRIBE_ENV, "").lower() in ("1", "true", "yes", "on")
+
+
+def effective_shards(shards: int) -> int:
+    """Clamp a requested shard count to the available hardware.
+
+    Splitting a batch beyond the CPUs that can actually run it buys no
+    parallelism and pays the split/merge overhead anyway, so the adaptive
+    engine path (:class:`~repro.engine.engine.QueryEngine`) treats
+    ``shards`` as an *upper bound*: ``min(shards, CPUs)``, degenerating to
+    the serial path on a single-core host.  Set
+    ``REPRO_SHARD_OVERSUBSCRIBE=1`` to disable the clamp (CI does, so the
+    parallel machinery is exercised regardless of runner size), or use
+    :class:`ShardedQueryEngine`, which always runs the split it was asked
+    for.
+    """
+    if shards <= 1 or oversubscribed():
+        return shards
+    return min(shards, available_parallelism())
 
 
 def split_shards(items: Sequence[T], shards: int) -> list[list[T]]:
@@ -108,6 +165,166 @@ def split_shards(items: Sequence[T], shards: int) -> list[list[T]]:
     return chunks
 
 
+# --------------------------------------------------------------------- #
+# Persistent worker pools
+# --------------------------------------------------------------------- #
+
+#: The backend installed in a process-pool worker by the pool initializer.
+#: Shipping it once per worker (instead of pickling it into every
+#: submitted call) is what makes process shards affordable on
+#: multi-100 kbp references.
+_WORKER_BACKEND: SearchBackend | None = None
+
+
+def _init_worker(backend: SearchBackend) -> None:
+    """Process-pool initializer: install the shared backend once."""
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = backend
+
+
+def _call_worker(fn: Callable, args: tuple, shard: list) -> object:
+    """Run *fn* against the worker-resident backend (process executor)."""
+    return fn(_WORKER_BACKEND, *args, shard)
+
+
+class BackendWorkerPool:
+    """A long-lived shard worker pool bound to one backend.
+
+    The pool is created lazily on the first multi-shard call and then
+    reused for every subsequent batch — no per-batch executor spin-up.
+    Thread workers share the backend in-process; process workers receive
+    it exactly once via the pool initializer and keep it (including any
+    lazily built caches, e.g. the EXMA augmented-increment array) for the
+    pool's lifetime.  Usable as a context manager; ``shutdown`` is
+    idempotent and a fresh pool is created transparently if the instance
+    is used again afterwards.
+
+    Args:
+        backend: the backend every worker searches (picklable for the
+            process executor — all registered backends are).
+        executor: ``"thread"`` or ``"process"``.
+        max_workers: pool size, normally the engine's shard count.
+    """
+
+    def __init__(
+        self, backend: SearchBackend, executor: str = "thread", max_workers: int = 1
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+            )
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._backend = backend
+        self._kind = executor
+        self._max_workers = int(max_workers)
+        self._pool: Executor | None = None
+
+    @property
+    def backend(self) -> SearchBackend:
+        """The backend the workers are bound to."""
+        return self._backend
+
+    @property
+    def kind(self) -> str:
+        """Executor kind (``"thread"`` or ``"process"``)."""
+        return self._kind
+
+    @property
+    def max_workers(self) -> int:
+        """Configured pool size."""
+        return self._max_workers
+
+    @property
+    def active(self) -> bool:
+        """Whether the underlying executor has been created (and not shut
+        down)."""
+        return self._pool is not None
+
+    @classmethod
+    def ensure(
+        cls,
+        current: "BackendWorkerPool | None",
+        backend: SearchBackend,
+        executor: str,
+        max_workers: int,
+    ) -> "BackendWorkerPool":
+        """Reuse *current* when it matches the knobs, else replace it.
+
+        The single implementation of the owner pattern every pool holder
+        (engines, the read aligner) follows: keep one persistent pool
+        across calls, transparently swapping it when the bound backend,
+        the effective executor kind or the worker count changes (e.g.
+        environment toggles).  The backend check matters most for the
+        process executor, whose workers hold whatever backend their pool
+        initializer installed.
+        """
+        if current is not None and (
+            current.backend is not backend
+            or current.kind != executor
+            or current.max_workers != max_workers
+        ):
+            current.shutdown(wait=False)
+            current = None
+        if current is None:
+            current = cls(backend, executor, max_workers=max_workers)
+        return current
+
+    def _ensure(self) -> Executor:
+        if self._pool is None:
+            if self._kind == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=_init_worker,
+                    initargs=(self._backend,),
+                )
+        return self._pool
+
+    def map_shards(self, fn: Callable, shard_lists: Sequence[list], *args) -> list:
+        """Apply ``fn(backend, *args, shard)`` to every shard, in order.
+
+        *fn* must be a module-level function (picklable by reference).
+        Thread workers call it with the shared backend; process workers
+        look the backend up in the worker global installed by the pool
+        initializer, so only ``(fn, args, shard)`` crosses the pipe.  A
+        single shard runs inline, skipping the pool entirely.
+        """
+        if not shard_lists:
+            return []
+        if len(shard_lists) == 1:
+            return [fn(self._backend, *args, shard_lists[0])]
+        pool = self._ensure()
+        if self._kind == "thread":
+            futures = [
+                pool.submit(fn, self._backend, *args, shard) for shard in shard_lists
+            ]
+        else:
+            futures = [
+                pool.submit(_call_worker, fn, args, shard) for shard in shard_lists
+            ]
+        return [future.result() for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the underlying executor down (no-op when never created)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BackendWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
+
+
 def _make_executor(executor: str, workers: int) -> Executor:
     if executor == "thread":
         return ThreadPoolExecutor(max_workers=workers)
@@ -124,10 +341,11 @@ def run_sharded(
 ) -> list[R]:
     """Apply *worker* to contiguous shards of *items*, outputs in shard order.
 
-    *worker* receives one shard (a list slice) and must be picklable for
-    the ``process`` executor — a module-level function or a
-    :func:`functools.partial` over one.  A single shard short-circuits the
-    pool entirely.
+    This is the ad-hoc one-shot path: it spins an executor per call and
+    *worker* must be picklable for the ``process`` executor.  Work bound
+    to a backend should go through a persistent :class:`BackendWorkerPool`
+    instead, which reuses its pool across calls and never re-pickles the
+    backend.  A single shard short-circuits the pool entirely.
     """
     shard_lists = split_shards(items, shards)
     if not shard_lists:
@@ -140,36 +358,79 @@ def run_sharded(
 
 
 def _search_shard(backend: SearchBackend, queries: list[str]) -> tuple[list[Interval], BatchStats]:
-    """One shard's lockstep search, with step tracing enabled for the merge."""
+    """One shard's lockstep search, with contribution tracing enabled."""
     stats = BatchStats(trace=BatchTrace())
     intervals = backend.search_batch(queries, stats)
     return intervals, stats
 
 
-def merge_traces(traces: Sequence[BatchTrace], span: int) -> BatchTrace:
+# --------------------------------------------------------------------- #
+# Replay-free stats merge
+# --------------------------------------------------------------------- #
+
+
+def _merge_step(shard_steps: list[StepTrace]) -> StepTrace:
+    """Union one lockstep step across shards, deduping contributions.
+
+    One ``np.unique`` over the concatenated packed keys yields both the
+    serial unique set (sorted, exactly the order the serial coalescer
+    emits) and — through ``return_index`` — the first occurrence of every
+    surviving key, which selects its contribution row.  Contribution
+    values depend only on the ``(kmer, pos)`` pair, so *which* shard's row
+    survives is irrelevant.
+    """
+    if len(shard_steps) == 1:
+        return shard_steps[0]
+    keys = np.concatenate([step.keys for step in shard_steps])
+    unique_keys, first = np.unique(keys, return_index=True)
+    contributions = [step.contribution for step in shard_steps]
+    if all(contribution is None for contribution in contributions):
+        return StepTrace(keys=unique_keys)
+    columns: dict[str, np.ndarray | None] = {}
+    for name in StepContribution._COLUMNS:
+        cols = [
+            None if contribution is None else getattr(contribution, name)
+            for contribution in contributions
+        ]
+        present = [col for col in cols if col is not None]
+        if not present:
+            columns[name] = None
+            continue
+        parts = [
+            col if col is not None else np.zeros(step.keys.size, dtype=present[0].dtype)
+            for col, step in zip(cols, shard_steps)
+        ]
+        columns[name] = np.concatenate(parts)[first]
+    return StepTrace(keys=unique_keys, contribution=StepContribution(**columns))
+
+
+def merge_traces(traces: Sequence[BatchTrace]) -> BatchTrace:
     """Union per-shard traces step by step into the serial batch's trace.
 
     Step *t* of every shard corresponds to the same lockstep iteration of
     the unsplit batch, so the serial unique set at *t* is the union of the
-    shard sets at *t* (packed into ``kmer * span + pos`` keys and deduped,
-    which also restores the per-step sorted order the serial coalescer
-    emits).  Tails merge by first-seen order across the contiguous shards,
-    which is exactly the whole batch's first-seen order.
+    shard sets at *t*.  The traces already carry each step's packed
+    ``kmer * span + pos`` keys exactly as the coalescer produced them, so
+    the union is one concatenate + ``np.unique`` per step — nothing is
+    re-packed and no span is needed here — and the same pass dedupes the
+    accounting contributions.  Tails merge by first-seen order across the
+    contiguous shards, which is exactly the whole batch's first-seen
+    order, each keeping its recorded costs.  Only the final consumer
+    (:func:`merge_shard_stats`) unpacks keys, with the backend's span.
     """
     merged = BatchTrace()
     depth = max((len(trace.steps) for trace in traces), default=0)
     for index in range(depth):
-        keys = np.unique(
-            np.concatenate(
-                [
-                    trace.steps[index][0] * span + trace.steps[index][1]
-                    for trace in traces
-                    if index < len(trace.steps)
-                ]
-            )
+        merged.steps.append(
+            _merge_step([trace.steps[index] for trace in traces if index < len(trace.steps)])
         )
-        merged.steps.append((keys // span, keys % span))
-    merged.tails = list(dict.fromkeys(tail for trace in traces for tail in trace.tails))
+    seen: dict[str, TailContribution] = {}
+    for trace in traces:
+        for tail, contribution in zip(trace.tails, trace.tail_contributions):
+            if tail not in seen:
+                seen[tail] = contribution
+    merged.tails = list(seen)
+    merged.tail_contributions = list(seen.values())
     return merged
 
 
@@ -180,9 +441,13 @@ def merge_shard_stats(backend: SearchBackend, shard_stats: Sequence[BatchStats])
     across shards (understating nothing but overstating unique counts,
     base reads and prediction work — the same counter family as the fig18
     base-count bug fixed in PR 1).  Instead the per-query counters are
-    summed, the merged step trace rebuilds the unique-request stream, and
-    the backend replays the trace to redo the resolution accounting
-    exactly once per serial-unique request.
+    summed and everything coalescing-dependent is rebuilt from the merged
+    trace: the unique request stream comes straight from the unioned
+    packed keys (appended columnarly, no per-request objects), base reads
+    from the distinct k-mers per step plus the recorded tail costs, and
+    the remaining counters from the deduped per-request contributions.
+    The backend is only consulted for its position span — **no search or
+    replay runs here**.
     """
     merged = BatchStats()
     for stats in shard_stats:
@@ -190,15 +455,25 @@ def merge_shard_stats(backend: SearchBackend, shard_stats: Sequence[BatchStats])
         merged.iterations += stats.iterations
         merged.occ_requests_issued += stats.occ_requests_issued
     traces = [stats.trace for stats in shard_stats if stats.trace is not None]
-    trace = merge_traces(traces, span=backend.reference_length + 1)
-    for kmers, positions in trace.steps:
+    span = backend.reference_length + 1
+    trace = merge_traces(traces)
+    # Tails are accounted first: the serial pass resolves every distinct
+    # tail before entering the lockstep loop, so prediction errors keep
+    # the serial append order.
+    for contribution in trace.tail_contributions:
+        merged.base_reads += contribution.base_reads
+        merged.binary_comparisons += contribution.comparisons
+        merged.index_predictions += contribution.predictions
+        merged.prediction_errors.extend(contribution.errors)
+    for step in trace.steps:
+        kmers = step.keys // span
         merged.lockstep_iterations += 1
-        merged.occ_requests_unique += int(kmers.size)
-        merged.requests.extend(
-            OccRequest(packed_kmer=int(kmer), pos=int(pos))
-            for kmer, pos in zip(kmers.tolist(), positions.tolist())
-        )
-    backend.replay_trace(trace, merged)
+        merged.occ_requests_unique += int(step.keys.size)
+        if kmers.size:
+            merged.base_reads += int(np.count_nonzero(np.diff(kmers))) + 1
+        merged.requests.append_step(step.keys, span)
+        if step.contribution is not None:
+            merged.apply_contribution(step.contribution)
     return merged
 
 
@@ -207,13 +482,27 @@ def run_sharded_batch(
     queries: Sequence[str],
     shards: int,
     executor: str = "thread",
+    pool: BackendWorkerPool | None = None,
 ) -> BatchResult:
-    """Search *queries* across shards; result identical to the serial path."""
+    """Search *queries* across shards; result identical to the serial path.
+
+    With *pool* given (the engine-owned persistent pool) the call reuses
+    it and leaves it running; otherwise a one-shot pool is created and
+    shut down around the batch.
+    """
     queries = list(queries)
     if shards <= 1 or len(queries) <= 1:
         stats = BatchStats()
         return BatchResult(intervals=backend.search_batch(queries, stats), stats=stats)
-    outputs = run_sharded(partial(_search_shard, backend), queries, shards, executor)
+    shard_lists = split_shards(queries, shards)
+    owned = pool is None
+    if pool is None:
+        pool = BackendWorkerPool(backend, executor, max_workers=len(shard_lists))
+    try:
+        outputs = pool.map_shards(_search_shard, shard_lists)
+    finally:
+        if owned:
+            pool.shutdown()
     intervals = [interval for shard_intervals, _ in outputs for interval in shard_intervals]
     stats = merge_shard_stats(backend, [shard_stats for _, shard_stats in outputs])
     return BatchResult(intervals=intervals, stats=stats)
@@ -222,11 +511,19 @@ def run_sharded_batch(
 class ShardedQueryEngine(QueryEngine):
     """A :class:`QueryEngine` that always runs the sharded parallel path.
 
+    Unlike the adaptive base class, this engine never clamps its shard
+    count to the hardware — it runs exactly the split it was configured
+    with, which is what the equivalence suite and the forced rows of the
+    shard-scaling benchmark rely on.
+
     Construction mirrors :class:`QueryEngine` (prebuilt backend, or
     registry name + reference) plus the parallelism knobs.  Every batch
     API (``search_batch``, ``find_batch``, ``count_batch``,
     ``request_stream`` and the single-query wrappers) returns exactly what
-    the serial engine would.
+    the serial engine would.  The engine owns a persistent
+    :class:`BackendWorkerPool` (created lazily on the first multi-shard
+    batch, reused across calls); use the engine as a context manager or
+    call :meth:`~repro.engine.engine.QueryEngine.close` to release it.
 
     Args:
         backend: a prebuilt backend, or ``None`` to build one by name.
@@ -235,11 +532,14 @@ class ShardedQueryEngine(QueryEngine):
         executor: ``"thread"`` or ``"process"`` (defaults to the
             ``REPRO_DEFAULT_EXECUTOR`` environment toggle).  The process
             executor requires a picklable backend — all registered
-            backends are.
+            backends are — and ships it to the workers once, at pool
+            creation.
         name: registry name used when *backend* is omitted.
         reference: reference string used when *backend* is omitted.
         **kwargs: forwarded to the backend factory.
     """
+
+    _adaptive = False
 
     def __init__(
         self,
@@ -270,11 +570,9 @@ class ShardedQueryEngine(QueryEngine):
 
     def search_batch_per_shard(self, queries: Sequence[str]) -> list[BatchResult]:
         """The per-shard results before merging (introspection/debugging)."""
-        outputs = run_sharded(
-            partial(_search_shard, self.backend),
-            list(queries),
-            self.shards,
-            self.executor,
+        shard_lists = split_shards(list(queries), self.shards)
+        outputs = self._ensure_pool(self.shards, self.executor).map_shards(
+            _search_shard, shard_lists
         )
         return [
             BatchResult(intervals=intervals, stats=stats) for intervals, stats in outputs

@@ -28,7 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from ..exma.search import OccRequest
+from .coalesce import RequestStream
 
 __all__ = ["CoalescingWindow", "WindowedBatch", "windowed_request_stream"]
 
@@ -86,24 +89,57 @@ class CoalescingWindow:
         return len(self._buffered)
 
     def push(self, requests: Sequence[OccRequest]) -> WindowedBatch | None:
-        """Buffer one batch; return the merged window once W are buffered."""
-        self._buffered.append(list(requests))
+        """Buffer one batch; return the merged window once W are buffered.
+
+        The engine's columnar :class:`~repro.engine.coalesce.RequestStream`
+        is buffered as a :meth:`~repro.engine.coalesce.RequestStream
+        .snapshot` (no object materialisation, but decoupled from the
+        producing stats object growing afterwards); any other request
+        sequence is copied into a list.
+        """
+        if isinstance(requests, RequestStream):
+            self._buffered.append(requests.snapshot())
+        else:
+            self._buffered.append(list(requests))
         if len(self._buffered) >= self._capacity:
             return self.flush()
         return None
 
+    @staticmethod
+    def _columns(batch: Sequence[OccRequest]) -> tuple[np.ndarray, np.ndarray]:
+        """One buffered batch as (kmers, positions) int64 arrays."""
+        if isinstance(batch, RequestStream):
+            return batch.kmers, batch.positions
+        return (
+            np.array([request.packed_kmer for request in batch], dtype=np.int64),
+            np.array([request.pos for request in batch], dtype=np.int64),
+        )
+
     def flush(self) -> WindowedBatch | None:
-        """Merge and emit whatever is buffered (``None`` when empty)."""
+        """Merge and emit whatever is buffered (``None`` when empty).
+
+        The cross-batch dedupe is one vectorized ``np.unique`` over packed
+        ``kmer * span + pos`` keys (*span* bounds the window's positions),
+        whose ascending order equals the lexicographic ``(kmer, pos)``
+        order the stage-1 scheduler wants.
+        """
         if not self._buffered:
             return None
         issued = sum(len(batch) for batch in self._buffered)
         batches = len(self._buffered)
-        pairs = sorted(
-            {(request.packed_kmer, request.pos) for batch in self._buffered for request in batch}
-        )
+        columns = [self._columns(batch) for batch in self._buffered]
         self._buffered = []
+        if issued == 0:
+            return WindowedBatch(requests=(), batches=batches, issued=0)
+        kmers = np.concatenate([kmer_column for kmer_column, _ in columns])
+        positions = np.concatenate([position_column for _, position_column in columns])
+        span = int(positions.max()) + 1
+        keys = np.unique(kmers * span + positions)
         return WindowedBatch(
-            requests=tuple(OccRequest(packed_kmer=kmer, pos=pos) for kmer, pos in pairs),
+            requests=tuple(
+                OccRequest(packed_kmer=kmer, pos=pos)
+                for kmer, pos in zip((keys // span).tolist(), (keys % span).tolist())
+            ),
             batches=batches,
             issued=issued,
         )

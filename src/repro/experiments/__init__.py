@@ -14,6 +14,8 @@ from .fig15_window import (
     format_shard_scaling,
     run_fig15_window,
     run_shard_scaling,
+    shard_scaling_report,
+    write_shard_scaling_json,
 )
 from .fig18_throughput import (
     BatchingRow,
@@ -66,6 +68,8 @@ __all__ = [
     "format_shard_scaling",
     "run_fig15_window",
     "run_shard_scaling",
+    "shard_scaling_report",
+    "write_shard_scaling_json",
     "Fig18Result",
     "Fig18Row",
     "BatchingRow",

@@ -37,6 +37,12 @@ _CODE_TO_CHAR = np.array(list(FULL_ALPHABET))
 _DNA_TO_2BIT = {c: i for i, c in enumerate(DNA_ALPHABET)}
 _2BIT_TO_DNA = np.array(list(DNA_ALPHABET))
 
+#: Byte-value lookup table driving the vectorized :func:`encode`; 0xFF
+#: marks bytes outside the ``$ACGT`` alphabet.
+_BYTE_TO_CODE = np.full(256, 0xFF, dtype=np.uint8)
+for _char, _code in _CHAR_TO_CODE.items():
+    _BYTE_TO_CODE[ord(_char)] = _code
+
 _COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A", SENTINEL: SENTINEL, "N": "N"}
 
 
@@ -58,12 +64,19 @@ def encode(sequence: str) -> np.ndarray:
     """Encode a string over ``$ACGT`` into ``uint8`` codes 0..4.
 
     The sentinel encodes to 0, so ``np.sort`` and comparisons on encoded
-    arrays agree with lexicographic string order.
+    arrays agree with lexicographic string order.  Encoding is one table
+    gather over the raw bytes, so batched callers (the engine backends
+    encode every query of a batch) stay off the per-character Python path.
     """
     try:
-        return np.array([_CHAR_TO_CODE[c] for c in sequence], dtype=np.uint8)
-    except KeyError as exc:  # pragma: no cover - defensive
-        raise AlphabetError(f"invalid DNA symbol: {exc.args[0]!r}") from exc
+        raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError as exc:
+        raise AlphabetError(f"invalid DNA symbol: {sequence[exc.start]!r}") from exc
+    codes = _BYTE_TO_CODE[raw]
+    if codes.size and int(codes.max()) == 0xFF:
+        bad = sequence[int(np.argmax(codes == 0xFF))]
+        raise AlphabetError(f"invalid DNA symbol: {bad!r}")
+    return codes
 
 
 def decode(codes: np.ndarray) -> str:

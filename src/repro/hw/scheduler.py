@@ -108,11 +108,14 @@ def schedule_windowed(
 ) -> Iterator[ScheduledBatch]:
     """Schedule consecutive batch streams through a coalescing window.
 
-    The engine emits one request stream per query batch; before those
-    streams reach the CAM they pass a :class:`CoalescingWindow` of W
-    consecutive batches, so each unique ``(k-mer, pos)`` pair of a window
-    is scheduled exactly once (the Fig. 15 sweep knob).  *window* may be a
-    capacity or a prebuilt window instance.
+    The engine emits one request stream per query batch — typically the
+    columnar :class:`~repro.engine.coalesce.RequestStream`, which the
+    window merges array-side without materialising request objects;
+    before those streams reach the CAM they pass a
+    :class:`CoalescingWindow` of W consecutive batches, so each unique
+    ``(k-mer, pos)`` pair of a window is scheduled exactly once (the
+    Fig. 15 sweep knob).  *window* may be a capacity or a prebuilt window
+    instance.
     """
     if isinstance(window, int):
         window = CoalescingWindow(window)

@@ -15,6 +15,7 @@ from repro.engine import (
     BatchStats,
     ExmaBackend,
     FMIndexBackend,
+    RequestStream,
     coalesce_requests,
 )
 from repro.exma.search import ExmaSearch, OccRequest
@@ -146,6 +147,78 @@ class TestFMIndexCoalescingOracle:
         assert stats.occ_requests_unique == 2 * 4
         assert stats.coalescing_factor == pytest.approx(8.0)
         assert all((i.low, i.high) == (intervals[0].low, intervals[0].high) for i in intervals)
+
+
+class TestRequestStream:
+    """The columnar request stream and its lazy OccRequest view.
+
+    Steps are appended as packed ``kmer * span + pos`` keys (span 10
+    here): (3, 0) and (7, 4) in the first step, (1, 9) in the second.
+    """
+
+    def _stream(self) -> RequestStream:
+        stream = RequestStream()
+        stream.append_step(np.array([3 * 10 + 0, 7 * 10 + 4]), 10)
+        stream.append_step(np.array([1 * 10 + 9]), 10)
+        return stream
+
+    def test_len_and_lazy_view(self):
+        stream = self._stream()
+        assert len(stream) == 3
+        assert list(stream) == [
+            OccRequest(packed_kmer=3, pos=0),
+            OccRequest(packed_kmer=7, pos=4),
+            OccRequest(packed_kmer=1, pos=9),
+        ]
+        assert stream[1] == OccRequest(packed_kmer=7, pos=4)
+        assert stream[:2] == [
+            OccRequest(packed_kmer=3, pos=0),
+            OccRequest(packed_kmer=7, pos=4),
+        ]
+
+    def test_view_cache_invalidated_by_growth(self):
+        stream = self._stream()
+        first = stream.materialize()
+        assert stream.materialize() is first  # cached while unchanged
+        stream.append_step(np.array([2 * 10 + 2]), 10)
+        assert len(stream) == 4
+        assert stream[-1] == OccRequest(packed_kmer=2, pos=2)
+
+    def test_snapshot_decouples_from_growth(self):
+        stream = self._stream()
+        frozen = stream.snapshot()
+        stream.append_step(np.array([2 * 10 + 2]), 10)
+        assert len(frozen) == 3
+        assert len(stream) == 4
+        assert frozen == self._stream()
+
+    def test_equality_against_streams_and_lists(self):
+        stream = self._stream()
+        assert stream == self._stream()
+        assert stream == list(stream)
+        other = self._stream()
+        other.append_step(np.array([9 * 10 + 9]), 10)
+        assert stream != other
+        assert stream != list(other)
+
+    def test_extend_concatenates_columns(self):
+        stream = self._stream()
+        stream.extend(self._stream())
+        assert len(stream) == 6
+        assert stream.kmers.tolist() == [3, 7, 1, 3, 7, 1]
+        assert stream.positions.tolist() == [0, 4, 9, 0, 4, 9]
+        stream.extend([OccRequest(packed_kmer=5, pos=5)])
+        assert stream[-1] == OccRequest(packed_kmer=5, pos=5)
+
+    def test_columns_round_trip_through_engine(self):
+        stats = BatchStats()
+        table = ExmaTable(TINY, k=2)
+        ExmaBackend(table=table).search_batch(["ACGT", "ACGT"], stats)
+        stream = stats.requests
+        assert isinstance(stream, RequestStream)
+        assert len(stream) == stats.occ_requests_unique
+        assert stream.kmers.tolist() == [r.packed_kmer for r in stream]
+        assert stream.positions.tolist() == [r.pos for r in stream]
 
 
 class TestBatchStats:

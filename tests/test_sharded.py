@@ -22,6 +22,7 @@ from repro.engine import (
     FMIndexBackend,
     LisaBackend,
     QueryEngine,
+    SearchBackend,
     ShardedQueryEngine,
     create_backend,
     merge_shard_stats,
@@ -148,7 +149,7 @@ def backends(case):
 )
 def test_all_backends_all_shards_both_executors(backends, case, name, shards, executor):
     if executor == "process" and shards == 7:
-        pytest.skip("process pool spun up once per (backend, shards); 4 covers it")
+        pytest.skip("one persistent process pool per (backend, shards) cell; 4 covers it")
     _, queries = case
     assert_equivalent(backends[name], queries, shards, executor)
 
@@ -213,6 +214,128 @@ class TestShardMergeSemantics:
 
 
 # --------------------------------------------------------------------- #
+# Replay-free merge: no second trip through the index
+# --------------------------------------------------------------------- #
+
+
+class TestReplayFreeMerge:
+    def test_replay_trace_is_gone(self, backends):
+        """The merge records contributions during the shard run; nothing —
+        base class or backend — carries a replay hook anymore."""
+        assert not hasattr(SearchBackend, "replay_trace")
+        for backend in backends.values():
+            assert not hasattr(backend, "replay_trace")
+
+    @pytest.mark.parametrize("name", ["exma", "exma-mtl", "lisa", "lisa-learned"])
+    def test_merge_consults_backend_only_for_its_span(self, case, backends, name):
+        """Merging per-shard stats must need the backend for nothing but
+        ``reference_length`` — proven by merging through a stub that has
+        no search structure at all."""
+        from types import SimpleNamespace
+
+        _, queries = case
+        backend = backends[name]
+        shard_stats = []
+        for shard in split_shards(queries, 4):
+            stats = BatchStats(trace=BatchTrace())
+            backend.search_batch(shard, stats)
+            shard_stats.append(stats)
+        stub = SimpleNamespace(reference_length=backend.reference_length)
+        merged = merge_shard_stats(stub, shard_stats)
+        serial = QueryEngine(backend, shards=1).search_batch(queries).stats
+        assert_stats_identical(serial, merged)
+
+
+# --------------------------------------------------------------------- #
+# Persistent worker pools
+# --------------------------------------------------------------------- #
+
+
+class TestPersistentPools:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_pool_survives_multiple_batches(self, case, backends, executor):
+        """A reused engine keeps one pool across search_batch calls, and
+        every call stays byte-identical to serial."""
+        _, queries = case
+        backend = backends["exma"]
+        serial = QueryEngine(backend, shards=1).search_batch(queries)
+        with ShardedQueryEngine(backend, shards=3, executor=executor) as engine:
+            assert engine.worker_pool is None  # created lazily
+            first = engine.search_batch(queries)
+            pool = engine.worker_pool
+            assert pool is not None and pool.active
+            for result in (first, engine.search_batch(queries), engine.search_batch(queries)):
+                assert [(i.low, i.high) for i in result.intervals] == [
+                    (i.low, i.high) for i in serial.intervals
+                ]
+                assert_stats_identical(serial.stats, result.stats)
+            assert engine.worker_pool is pool  # same pool, not one per batch
+        assert engine.worker_pool is None  # context exit released it
+
+    def test_close_is_idempotent_and_engine_stays_usable(self, case, backends):
+        _, queries = case
+        engine = ShardedQueryEngine(backends["fmindex"], shards=2, executor="thread")
+        engine.search_batch(queries)
+        first_pool = engine.worker_pool
+        engine.close()
+        engine.close()
+        assert engine.worker_pool is None
+        engine.search_batch(queries)  # transparently recreates the pool
+        assert engine.worker_pool is not None
+        assert engine.worker_pool is not first_pool
+        engine.close()
+
+    def test_pool_replaced_when_knobs_change(self, case, backends, monkeypatch):
+        """The env-toggled engine swaps its pool when the effective
+        executor changes between calls instead of reusing a stale one."""
+        monkeypatch.setenv("REPRO_SHARD_OVERSUBSCRIBE", "1")
+        monkeypatch.setenv("REPRO_DEFAULT_SHARDS", "2")
+        monkeypatch.setenv("REPRO_DEFAULT_EXECUTOR", "thread")
+        _, queries = case
+        engine = QueryEngine(backends["fmindex"])
+        engine.search_batch(queries)
+        thread_pool = engine.worker_pool
+        assert thread_pool is not None and thread_pool.kind == "thread"
+        monkeypatch.setenv("REPRO_DEFAULT_EXECUTOR", "process")
+        engine.search_batch(queries)
+        assert engine.worker_pool is not thread_pool
+        assert engine.worker_pool.kind == "process"
+        engine.close()
+
+
+# --------------------------------------------------------------------- #
+# Adaptive shard clamping (QueryEngine) vs forced split (ShardedQueryEngine)
+# --------------------------------------------------------------------- #
+
+
+class TestAdaptiveShards:
+    def test_query_engine_clamps_to_available_cpus(self, case, monkeypatch):
+        reference, _ = case
+        monkeypatch.delenv("REPRO_SHARD_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr("repro.engine.sharded.available_parallelism", lambda: 2)
+        engine = QueryEngine(FMIndexBackend(reference), shards=8)
+        assert engine.shards == 8  # the configured upper bound is kept
+        assert engine.effective_shards == 2
+
+    def test_oversubscribe_toggle_disables_the_clamp(self, case, monkeypatch):
+        reference, _ = case
+        monkeypatch.setattr("repro.engine.sharded.available_parallelism", lambda: 1)
+        monkeypatch.setenv("REPRO_SHARD_OVERSUBSCRIBE", "1")
+        assert QueryEngine(FMIndexBackend(reference), shards=8).effective_shards == 8
+
+    def test_sharded_engine_never_clamps(self, case, monkeypatch):
+        reference, queries = case
+        monkeypatch.delenv("REPRO_SHARD_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr("repro.engine.sharded.available_parallelism", lambda: 1)
+        backend = FMIndexBackend(reference)
+        engine = ShardedQueryEngine(backend, shards=4, executor="thread")
+        assert engine.effective_shards == 4
+        engine.search_batch(queries)
+        assert engine.worker_pool is not None  # the split really ran
+        engine.close()
+
+
+# --------------------------------------------------------------------- #
 # Engine dispatch and configuration
 # --------------------------------------------------------------------- #
 
@@ -221,8 +344,12 @@ class TestEngineDispatch:
     def test_env_toggle_shards_every_engine(self, case, monkeypatch):
         reference, queries = case
         monkeypatch.setenv("REPRO_DEFAULT_SHARDS", "4")
+        # Oversubscription keeps the adaptive clamp from degenerating this
+        # to the serial path on single-core CI runners.
+        monkeypatch.setenv("REPRO_SHARD_OVERSUBSCRIBE", "1")
         engine = QueryEngine(FMIndexBackend(reference))
         assert engine.shards == 4
+        assert engine.effective_shards == 4
         serial = QueryEngine(FMIndexBackend(reference), shards=1).search_batch(queries)
         toggled = engine.search_batch(queries)
         assert [(i.low, i.high) for i in toggled.intervals] == [

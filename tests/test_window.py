@@ -90,6 +90,22 @@ class TestWindowOracle:
         assert [f.batches for f in flushes] == [2, 1]
         assert [f.unique for f in flushes] == [2, 1]
 
+    def test_pushed_stream_is_snapshotted_not_aliased(self):
+        """A buffered columnar stream must not grow with its producer:
+        pushing ``stats.requests`` and then searching another batch into
+        the same stats object may not leak the later requests into the
+        flushed window."""
+        from repro.engine import RequestStream
+
+        stream = RequestStream()
+        stream.append_step(np.array([1 * 10 + 0, 2 * 10 + 5]), 10)
+        window = CoalescingWindow(capacity=4)
+        window.push(stream)
+        stream.append_step(np.array([7 * 10 + 7]), 10)  # producer keeps going
+        flushed = window.flush()
+        assert flushed.issued == 2
+        assert flushed.requests == (R(1, 0), R(2, 5))
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             CoalescingWindow(0)

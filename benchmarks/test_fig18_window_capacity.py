@@ -1,0 +1,57 @@
+"""Benchmark: Fig. 18 (windowed) — accelerator sweep per window capacity.
+
+Regenerates the recorded ``BENCH_window_capacity.json`` workload: the full
+end-to-end windowed pipeline (engine request streams → coalescing window →
+``ExmaAccelerator.run_stream``) at W ∈ {1, 2, 4, 8, 16}, and asserts the
+invariants the CI bench-smoke job also gates on — the W=1 row is
+byte-identical to the unwindowed per-batch path, the replayed stream's
+request count is monotone non-increasing in W, and cycles follow the
+trend (strictly fewer at W=16, at most 2 % local model noise per step;
+on this recorded workload they happen to be strictly monotone too).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig18_window, run_fig18_window
+from repro.testing import run_once
+
+#: The recorded BENCH_window_capacity.json workload shape.
+WORKLOAD = dict(
+    genome_length=60_000,
+    seed=0,
+    windows=(1, 2, 4, 8, 16),
+    batch_count=16,
+    batch_size=64,
+)
+
+
+def test_fig18_window_capacity_sweep(benchmark, report):
+    result = run_once(benchmark, run_fig18_window, **WORKLOAD)
+    report.append("")
+    report.append(format_fig18_window(result))
+    report.append(
+        "paper: Fig. 15/18 — the scheduling window shortens the replayed "
+        "stream, so accelerator cycles fall monotonically with W"
+    )
+
+    # W=1 must reproduce the unwindowed per-batch path byte-for-byte.
+    assert result.w1_matches_unwindowed
+    w1 = result.rows[0]
+    assert w1.window == 1
+    assert w1.total_cycles == result.unwindowed.total_cycles
+    assert w1.dram_requests == result.unwindowed.dram_requests
+
+    posts = [row.post_merge_requests for row in result.rows]
+    cycles = [row.total_cycles for row in result.rows]
+    assert posts == sorted(posts, reverse=True)
+    for previous, current in zip(cycles, cycles[1:]):
+        assert current <= previous * 1.02
+    # Bases accounted are capacity-invariant, so the widest window's
+    # strictly shorter replay is strictly higher throughput.
+    assert cycles[-1] < cycles[0]
+    assert result.rows[-1].mbase_per_second > result.rows[0].mbase_per_second
+    # The widest window must strictly merge something on this workload.
+    assert posts[-1] < result.rows[0].pre_merge_requests
+    for row in result.rows:
+        assert row.merge_ratio >= 1.0
+        assert row.pre_merge_requests == result.rows[0].pre_merge_requests

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Gate on a recorded window-capacity report (``BENCH_window_capacity.json``).
+
+Asserts the two invariants the windowed accelerator pipeline is built on:
+
+* the W=1 sweep row is byte-identical to the unwindowed per-batch path
+  (the harness records the flush-by-flush comparison as
+  ``w1_matches_unwindowed``, and the headline counters must agree too);
+* scheduled requests are monotone non-increasing in W — a wider
+  scheduling window may only merge more duplicates (a set-union
+  guarantee, so it is enforced strictly);
+* cycles follow the same trend: the widest window must beat W=1 and no
+  step may *increase* cycles by more than ``CYCLE_SLACK`` — the cycle
+  count is a modelled consequence of the shrinking stream, and changing
+  scheduling-epoch boundaries can move row-conflict patterns by a
+  percent or two even as the stream monotonically shrinks.
+
+Exit codes: 0 when the invariants hold, 1 on a violation, 2 on
+malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Largest tolerated *relative increase* in total cycles from one sweep
+#: point to the next wider one (model noise from shifted epoch
+#: boundaries); the widest window must still strictly beat W=1.
+CYCLE_SLACK = 0.02
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} BENCH_window_capacity.json", file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        report = json.load(handle)
+    rows = sorted(report.get("rows", []), key=lambda row: row["window"])
+    if not rows:
+        print("no sweep rows recorded", file=sys.stderr)
+        return 2
+
+    for row in rows:
+        print(
+            f"W={row['window']:>2d}  post={row['post_merge_requests']:>8d}  "
+            f"cycles={row['total_cycles']:>10d}  {row['mbase_per_second']:9.2f} Mbase/s"
+        )
+
+    failures = []
+    if not report.get("w1_matches_unwindowed", False):
+        failures.append("W=1 flushes diverged from the unwindowed per-batch path")
+    unwindowed = report.get("unwindowed", {})
+    if rows[0]["window"] == 1 and unwindowed:
+        for key in ("post_merge_requests", "total_cycles", "dram_requests"):
+            if rows[0].get(key) != unwindowed.get(key):
+                failures.append(
+                    f"W=1 row {key}={rows[0].get(key)} != unwindowed {unwindowed.get(key)}"
+                )
+    posts = [row["post_merge_requests"] for row in rows]
+    if posts != sorted(posts, reverse=True):
+        failures.append(f"post_merge_requests not monotone non-increasing in W: {posts}")
+    cycles = [row["total_cycles"] for row in rows]
+    for previous, current in zip(cycles, cycles[1:]):
+        if current > previous * (1 + CYCLE_SLACK):
+            failures.append(
+                f"total_cycles rose by more than {CYCLE_SLACK:.0%} within the sweep: "
+                f"{cycles}"
+            )
+            break
+    if len(cycles) > 1 and cycles[-1] >= cycles[0]:
+        failures.append(
+            f"widest window did not reduce cycles: W={rows[-1]['window']} has "
+            f"{cycles[-1]} vs W={rows[0]['window']}'s {cycles[0]}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: W=1 matches the unwindowed path and the sweep trend holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 from .baselines import (
     AcceleratorModel,
+    stream_merge_ratio,
     CpuMemoryParameters,
     CpuThroughputModel,
     SoftwareAlgorithm,
@@ -22,7 +23,7 @@ from .config import (
     ex_acc_config,
     exma_full_config,
 )
-from .exma_accelerator import AcceleratorRunResult, ExmaAccelerator
+from .exma_accelerator import AcceleratorRunResult, ExmaAccelerator, WindowedRunResult
 from .metrics import ApplicationRun, SearchThroughput, geometric_mean, normalise
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "exma_full_config",
     "AcceleratorRunResult",
     "ExmaAccelerator",
+    "WindowedRunResult",
+    "stream_merge_ratio",
     "ApplicationRun",
     "SearchThroughput",
     "geometric_mean",

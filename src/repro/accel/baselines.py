@@ -22,8 +22,10 @@ calibration assumptions recorded here and in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable
 
+from ..engine.window import WindowedBatch
 from ..hw.dram import DDR4Config
 from ..hw.energy import CPU_POWER_W, DRAM_SYSTEM_POWER_W
 from .metrics import SearchThroughput
@@ -33,6 +35,28 @@ IPBWT_ENTRY_BYTES = 16
 
 #: Bytes of one EXMA increment entry.
 INCREMENT_ENTRY_BYTES = 4
+
+
+def stream_merge_ratio(windows: "Iterable[WindowedBatch]") -> float:
+    """Issued-to-unique request ratio of a windowed stream (>= 1.0).
+
+    The scheduling-window merge removes duplicate ``(k-mer, pos)``
+    requests before they reach a device, so every lookup-rate-bound model
+    serves ``1 / ratio`` as many lookups per base.  Plain request
+    sequences count as already-merged windows (ratio contribution 1).
+    """
+    issued = 0
+    unique = 0
+    for flushed in windows:
+        if isinstance(flushed, WindowedBatch):
+            issued += flushed.issued
+            unique += flushed.unique
+        else:
+            issued += len(flushed)
+            unique += len(flushed)
+    if unique == 0:
+        return 1.0
+    return max(1.0, issued / unique)
 
 
 # --------------------------------------------------------------------------- #
@@ -146,6 +170,24 @@ class CpuThroughputModel:
             dram_power_w=DRAM_SYSTEM_POWER_W,
         )
 
+    def run_stream(
+        self, algorithm: SoftwareAlgorithm, windows: "Iterable[WindowedBatch]"
+    ) -> SearchThroughput:
+        """Throughput of *algorithm* consuming a windowed request stream.
+
+        The software mirror of the accelerator's scheduling-window merge:
+        duplicate ``(k-mer, pos)`` lookups inside one window are resolved
+        once and the result shared, so the random accesses each iteration
+        actually issues shrink by the stream's merge ratio while the
+        symbols consumed per iteration stay the same.
+        """
+        ratio = stream_merge_ratio(windows)
+        merged = replace(
+            algorithm,
+            random_accesses_per_iteration=algorithm.random_accesses_per_iteration / ratio,
+        )
+        return self.throughput(merged)
+
 
 # --------------------------------------------------------------------------- #
 # Hardware accelerator models
@@ -200,7 +242,10 @@ class AcceleratorModel:
         return 2.0
 
     def throughput(
-        self, dram: DDR4Config | None = None, dataset_size_gb: float = 128.0
+        self,
+        dram: DDR4Config | None = None,
+        dataset_size_gb: float = 128.0,
+        coalescing_factor: float = 1.0,
     ) -> SearchThroughput:
         """Search throughput under the shared DDR4 main memory.
 
@@ -212,9 +257,18 @@ class AcceleratorModel:
           base (this is what throttles MEDAL);
         * latency bound: outstanding lookups overlapping ``row_cycle``
           bank occupancy.
+
+        *coalescing_factor* (>= 1) models a scheduling-window merge in
+        front of the device: every bound serves ``1 / factor`` as many
+        lookups per base, because duplicate requests inside a window are
+        resolved once.
         """
+        if coalescing_factor < 1.0:
+            raise ValueError("coalescing_factor must be >= 1")
         dram = dram or DDR4Config()
-        lookups_per_base = self.lookups_per_iteration() / self.symbols_per_iteration
+        lookups_per_base = (
+            self.lookups_per_iteration() / self.symbols_per_iteration / coalescing_factor
+        )
         bytes_per_lookup = self.useful_bytes_per_lookup + self.scan_bytes_per_lookup
         # Internal-memory misses force a second external access (FindeR).
         external_factor = 1.0
@@ -255,6 +309,26 @@ class AcceleratorModel:
             accelerator_power_w=self.device_power_w,
             dram_power_w=DRAM_SYSTEM_POWER_W,
             bandwidth_utilization=utilization,
+        )
+
+    def run_stream(
+        self,
+        windows: "Iterable[WindowedBatch]",
+        dram: DDR4Config | None = None,
+        dataset_size_gb: float = 128.0,
+    ) -> SearchThroughput:
+        """Throughput when the device consumes a windowed request stream.
+
+        The stream-consuming twin of :meth:`throughput`: the flushes'
+        issued/unique counts set the coalescing factor, so a wider
+        scheduling window (more duplicates merged per flush) raises every
+        lookup-bound rate.  A stream of W=1 flushes with no cross-step
+        duplicates degenerates to :meth:`throughput` exactly.
+        """
+        return self.throughput(
+            dram,
+            dataset_size_gb=dataset_size_gb,
+            coalescing_factor=stream_merge_ratio(windows),
         )
 
 

@@ -18,14 +18,15 @@ cache hit rates and energy — the quantities behind Figs. 18, 20, 21 and 22.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from ..engine.window import CoalescingWindow, WindowedBatch
 from ..exma.chain import compression_ratio as chain_ratio
 from ..exma.mtl_index import MTLIndex
 from ..exma.search import OccRequest
 from ..exma.table import ExmaTable
 from ..hw.cache import CacheStats, SetAssociativeCache
-from ..hw.dram import BURST_BYTES, DRAMModel, DRAMStats, MemoryRequest, PagePolicy
+from ..hw.dram import BURST_BYTES, DRAMModel, DRAMStats, MemoryRequest
 from ..hw.energy import DRAM_SYSTEM_POWER_W, EnergyLedger
 from ..hw.pe_array import InferenceEngine
 from ..hw.scheduler import FrFcfsScheduler, TwoStageScheduler, pair_requests_by_kmer
@@ -79,6 +80,128 @@ class AcceleratorRunResult:
             dram_power_w=DRAM_SYSTEM_POWER_W,
             bandwidth_utilization=self.dram.bandwidth_utilization,
             row_hit_rate=self.dram.row_hit_rate,
+        )
+
+
+@dataclass
+class WindowedRunResult:
+    """One streamed run: per-flush accelerator results plus the aggregate.
+
+    Each flushed :class:`~repro.engine.window.WindowedBatch` is one
+    scheduling epoch — the accelerator replays its merged request stream
+    with fresh queue/cache state and accounts cycles and energy for that
+    flush alone (``flushes``), so a window capacity of 1 is byte-identical
+    to running :meth:`ExmaAccelerator.run` on each batch's coalesced
+    stream.  The aggregate properties sum the epochs; the stream's wall
+    time is the sum because consecutive windows are dependent (the next
+    window's requests arrive as the previous one drains).
+    """
+
+    name: str
+    flushes: list[AcceleratorRunResult]
+    #: Window capacity W the stream was merged with (``None`` when the
+    #: caller supplied pre-merged flushes of unknown capacity).
+    capacity: int | None = None
+    #: Query batches merged across all windows.
+    batches: int = 0
+    #: Requests entering the window stage (post per-batch coalescing).
+    issued: int = 0
+
+    @property
+    def windows(self) -> int:
+        """Number of flushed windows replayed."""
+        return len(self.flushes)
+
+    @property
+    def requests(self) -> int:
+        """Requests surviving the window merge (scheduled on the CAM)."""
+        return sum(result.requests for result in self.flushes)
+
+    @property
+    def merged(self) -> int:
+        """Requests eliminated by the cross-batch merge."""
+        return self.issued - self.requests
+
+    @property
+    def merge_ratio(self) -> float:
+        """Issued-to-scheduled request ratio (1.0 means nothing merged)."""
+        if self.requests == 0:
+            return 1.0
+        return self.issued / self.requests
+
+    @property
+    def bases_processed(self) -> int:
+        return sum(result.bases_processed for result in self.flushes)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(result.total_cycles for result in self.flushes)
+
+    @property
+    def dram_cycles(self) -> int:
+        return sum(result.dram_cycles for result in self.flushes)
+
+    @property
+    def inference_cycles(self) -> int:
+        return sum(result.inference_cycles for result in self.flushes)
+
+    @property
+    def seconds(self) -> float:
+        return sum(result.seconds for result in self.flushes)
+
+    @property
+    def accelerator_energy_j(self) -> float:
+        return sum(result.accelerator_energy_j for result in self.flushes)
+
+    @property
+    def dram_energy_j(self) -> float:
+        return sum(result.dram_energy_j for result in self.flushes)
+
+    @property
+    def increment_entries_read(self) -> int:
+        return sum(result.increment_entries_read for result in self.flushes)
+
+    @property
+    def dram_requests(self) -> int:
+        return sum(result.dram_requests for result in self.flushes)
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """DRAM-cycle-weighted mean bandwidth utilisation across flushes."""
+        weight = sum(result.dram_cycles for result in self.flushes)
+        if weight == 0:
+            return 0.0
+        return (
+            sum(
+                result.dram.bandwidth_utilization * result.dram_cycles
+                for result in self.flushes
+            )
+            / weight
+        )
+
+    @property
+    def row_hit_rate(self) -> float:
+        """DRAM-request-weighted mean row hit rate across flushes."""
+        weight = sum(result.dram.requests for result in self.flushes)
+        if weight == 0:
+            return 0.0
+        return (
+            sum(result.dram.row_hit_rate * result.dram.requests for result in self.flushes)
+            / weight
+        )
+
+    @property
+    def throughput(self) -> SearchThroughput:
+        """Aggregate throughput/efficiency record of the whole stream."""
+        seconds = max(self.seconds, 1e-12)
+        return SearchThroughput(
+            name=self.name,
+            bases_processed=self.bases_processed,
+            seconds=seconds,
+            accelerator_power_w=self.accelerator_energy_j / seconds,
+            dram_power_w=DRAM_SYSTEM_POWER_W,
+            bandwidth_utilization=self.bandwidth_utilization,
+            row_hit_rate=self.row_hit_rate,
         )
 
 
@@ -296,6 +419,65 @@ class ExmaAccelerator:
             dram_requests=len(dram_trace),
             per_channel=per_channel,
         )
+
+    def run_stream(
+        self,
+        windows: "Iterable[WindowedBatch | Sequence[OccRequest]]",
+        name: str = "EXMA",
+    ) -> WindowedRunResult:
+        """Replay a stream of flushed windows, accounting each flush alone.
+
+        *windows* is an iterator of :class:`~repro.engine.window
+        .WindowedBatch` flushes (what :meth:`~repro.engine.window
+        .CoalescingWindow.stream` yields) or plain request sequences.
+        Each flush is one scheduling epoch: it is replayed with fresh
+        queue/cache/DRAM state exactly as :meth:`run` would replay the
+        same requests, so a W=1 stream is byte-identical per flush to the
+        per-batch path.  A :class:`WindowedBatch` is consumed columnar —
+        its packed key array reaches the scheduler directly and request
+        objects materialise only at the CAM boundary — and its bases
+        default to the *issued* (pre-window-merge) count, so throughput
+        stays comparable across window capacities while the replayed
+        stream shrinks with W.
+        """
+        flushes: list[AcceleratorRunResult] = []
+        batches = 0
+        issued = 0
+        for flushed in windows:
+            if isinstance(flushed, WindowedBatch):
+                batches += flushed.batches
+                issued += flushed.issued
+                bases = self._bases_processed(flushed.issued)
+                flushes.append(self.run(flushed, name=name, bases_processed=bases))
+            else:
+                batches += 1
+                issued += len(flushed)
+                flushes.append(self.run(flushed, name=name))
+        return WindowedRunResult(
+            name=name, flushes=flushes, capacity=None, batches=batches, issued=issued
+        )
+
+    def run_windowed(
+        self,
+        batch_streams: "Iterable[Sequence[OccRequest]]",
+        window: "int | CoalescingWindow" = 1,
+        name: str = "EXMA",
+    ) -> WindowedRunResult:
+        """Merge consecutive batch streams through a coalescing window and
+        replay the flushes.
+
+        The end-to-end windowed pipeline in one call: per-batch request
+        streams (typically each batch's columnar
+        :class:`~repro.engine.coalesce.RequestStream`) pass through a
+        :class:`~repro.engine.window.CoalescingWindow` of capacity W and
+        every flush is replayed as one scheduling epoch.  ``window=1``
+        reproduces the per-batch path exactly.
+        """
+        if isinstance(window, int):
+            window = CoalescingWindow(window)
+        result = self.run_stream(window.stream(batch_streams), name=name)
+        result.capacity = window.capacity
+        return result
 
     def _run_dram(self, trace: list[MemoryRequest]) -> list[DRAMStats]:
         """Shard the trace across channels and replay each channel."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..engine.backends import FMIndexBackend
+from ..engine.coalesce import BatchStats
 from ..engine.engine import WorkerPoolOwner
 from ..engine.sharded import (
     default_executor,
@@ -21,10 +22,11 @@ from ..engine.sharded import (
     effective_shards,
     split_shards,
 )
+from ..engine.window import CoalescingWindow, WindowedBatch
 from ..genome.alphabet import reverse_complement
 from ..genome.reads import SimulatedRead
 from ..index.fmindex import FMIndex, Seed
-from .smith_waterman import LocalAlignment, ScoringScheme, banded_smith_waterman
+from .smith_waterman import ScoringScheme, banded_smith_waterman
 
 
 def _mem_shard(backend: FMIndexBackend, min_length: int, reads: list[str]) -> list[list[Seed]]:
@@ -86,6 +88,16 @@ class ReadAligner(WorkerPoolOwner):
             seeds are identical to the serial pass).  ``None`` defers to
             the ``REPRO_DEFAULT_SHARDS`` toggle.
         executor: ``"thread"`` or ``"process"`` pool for *shards*.
+        window: scheduling-window capacity W — record each seeding pass's
+            coalesced Occ request stream and merge duplicates across W
+            consecutive passes through a
+            :class:`~repro.engine.window.CoalescingWindow`, producing the
+            flushed :class:`~repro.engine.window.WindowedBatch` stream the
+            accelerator model replays (``windowed_flushes`` /
+            ``flush_window``).  Windowed recording runs the serial
+            lockstep seeding pass (the recorded stream must be the exact
+            whole-batch stream, which per-shard recording cannot give), so
+            ``window`` takes precedence over ``shards`` for seeding.
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class ReadAligner(WorkerPoolOwner):
         scoring: ScoringScheme | None = None,
         shards: int | None = None,
         executor: str | None = None,
+        window: int | None = None,
     ) -> None:
         if min_seed_length <= 0:
             raise ValueError("min_seed_length must be positive")
@@ -114,6 +127,8 @@ class ReadAligner(WorkerPoolOwner):
             raise ValueError("shards must be >= 1")
         self._shards = shards
         self._executor = executor
+        self._window = CoalescingWindow(window) if window is not None else None
+        self._window_flushes: list[WindowedBatch] = []
         #: Persistent seeding pool (WorkerPoolOwner), created lazily on
         #: the first sharded batch and reused for every subsequent one.
         self._pool = None
@@ -142,14 +157,44 @@ class ReadAligner(WorkerPoolOwner):
         seeds = self._seed_batch(list(oriented))
         return self._align_from_seeds(name, oriented, seeds, counters)
 
+    @property
+    def window_capacity(self) -> int | None:
+        """The configured scheduling-window W, or ``None``."""
+        return self._window.capacity if self._window is not None else None
+
+    @property
+    def windowed_flushes(self) -> tuple[WindowedBatch, ...]:
+        """Windows flushed so far (cross-pass merged Occ request streams)."""
+        return tuple(self._window_flushes)
+
+    def flush_window(self) -> WindowedBatch | None:
+        """Force-flush the partial window (end of the read stream)."""
+        if self._window is None:
+            return None
+        flushed = self._window.flush()
+        if flushed is not None:
+            self._window_flushes.append(flushed)
+        return flushed
+
     def _seed_batch(self, oriented: list[str]) -> list[list[Seed]]:
         """Seed a batch of oriented reads, sharded across workers when asked.
 
         Batches too small to give every worker at least two reads stay on
         the serial path — per-read ``align_read`` (a 2-string batch) must
         not pay a pool spin-up per call when the environment toggle turns
-        sharding on globally.
+        sharding on globally.  With a scheduling window configured, the
+        pass runs serially with stats recording and its columnar request
+        stream is pushed through the window.
         """
+        if self._window is not None:
+            stats = BatchStats()
+            seeds = self._backend.maximal_exact_matches_batch(
+                oriented, min_length=self._min_seed, stats=stats
+            )
+            flushed = self._window.push(stats.requests)
+            if flushed is not None:
+                self._window_flushes.append(flushed)
+            return seeds
         shards = effective_shards(
             self._shards if self._shards is not None else default_shards()
         )

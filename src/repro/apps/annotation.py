@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..engine.backends import FMIndexBackend
 from ..engine.engine import QueryEngine
+from ..engine.window import CoalescingWindow, WindowedBatch
 from ..index.fmindex import FMIndex
 
 
@@ -48,6 +49,13 @@ class ExactWordAnnotator:
     (word sets are the repository's largest batches); results stay
     identical to serial, and the engine keeps one persistent worker pool
     across annotate calls rather than spinning a pool per batch.
+
+    Passing ``window`` records each annotate call's coalesced Occ request
+    stream into a :class:`~repro.engine.window.CoalescingWindow` of W
+    consecutive word batches; the flushed
+    :class:`~repro.engine.window.WindowedBatch` stream
+    (``windowed_flushes`` / ``flush_window``) is what the windowed
+    accelerator pipeline replays.  Annotations are unaffected.
     """
 
     def __init__(
@@ -57,6 +65,7 @@ class ExactWordAnnotator:
         engine: QueryEngine | None = None,
         shards: int | None = None,
         executor: str | None = None,
+        window: int | None = None,
     ) -> None:
         if max_positions_per_word <= 0:
             raise ValueError("max_positions_per_word must be positive")
@@ -65,6 +74,8 @@ class ExactWordAnnotator:
             FMIndexBackend(fm_index=fm_index), shards=shards, executor=executor
         )
         self._max_positions = max_positions_per_word
+        self._window = CoalescingWindow(window) if window is not None else None
+        self._window_flushes: list[WindowedBatch] = []
 
     @property
     def fm_index(self) -> FMIndex:
@@ -76,6 +87,25 @@ class ExactWordAnnotator:
         """The batched query engine answering word searches."""
         return self._engine
 
+    @property
+    def window_capacity(self) -> int | None:
+        """The configured scheduling-window W, or ``None``."""
+        return self._window.capacity if self._window is not None else None
+
+    @property
+    def windowed_flushes(self) -> tuple[WindowedBatch, ...]:
+        """Windows flushed so far (cross-batch merged Occ request streams)."""
+        return tuple(self._window_flushes)
+
+    def flush_window(self) -> WindowedBatch | None:
+        """Force-flush the partial window (end of the word stream)."""
+        if self._window is None:
+            return None
+        flushed = self._window.flush()
+        if flushed is not None:
+            self._window_flushes.append(flushed)
+        return flushed
+
     def annotate_word(self, word: str, counters: AnnotationCounters | None = None) -> WordAnnotation:
         """Find every exact occurrence of *word* (a batch of one)."""
         return self.annotate([word], counters)[0]
@@ -84,7 +114,11 @@ class ExactWordAnnotator:
         self, words: list[str], counters: AnnotationCounters | None = None
     ) -> list[WordAnnotation]:
         """Annotate a batch of words in one lockstep engine pass."""
-        positions_per_word, _ = self._engine.find_batch(words, limit=self._max_positions)
+        positions_per_word, stats = self._engine.find_batch(words, limit=self._max_positions)
+        if self._window is not None:
+            flushed = self._window.push(stats.requests)
+            if flushed is not None:
+                self._window_flushes.append(flushed)
         annotations = []
         for word, positions in zip(words, positions_per_word):
             annotation = WordAnnotation(word=word, positions=tuple(positions))

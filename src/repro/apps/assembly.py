@@ -12,7 +12,7 @@ reduced, and unambiguous paths are merged into contigs.  Its work counters
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..index.fmindex import FMIndex
 

@@ -93,6 +93,8 @@ def run_application(
     seed: int = 0,
     shards: int | None = None,
     executor: str | None = None,
+    window: int | None = None,
+    window_flushes: "list | None" = None,
 ) -> WorkCounters:
     """Run one application at reproduction scale and return its work.
 
@@ -102,7 +104,17 @@ def run_application(
     FM-Index-heavy applications (alignment seeding, annotation word
     batches) into the sharded parallel engine path — each holds one
     persistent worker pool for its run — and work counters are identical
-    either way.
+    either way.  ``window`` opts the same two applications into recording
+    their coalesced request streams through a scheduling window of W
+    consecutive batches (see :class:`~repro.engine.window
+    .CoalescingWindow`); the flushed
+    :class:`~repro.engine.window.WindowedBatch` stream is appended to the
+    *window_flushes* list when one is supplied — pass it to
+    :meth:`repro.accel.exma_accelerator.ExmaAccelerator.run_stream` to
+    replay the application's windowed stream — and the work counters
+    again stay identical.  Note the recording cost: with ``window`` set,
+    alignment seeding runs the serial recorded pass (``shards`` is
+    ignored for seeding; see :class:`~repro.apps.alignment.ReadAligner`).
     """
     if application not in APPLICATIONS:
         raise ValueError(f"unknown application {application!r}")
@@ -122,8 +134,12 @@ def run_application(
             extension_band=24 if long_read_profile else 16,
             shards=shards,
             executor=executor,
+            window=window,
         )
         _, counters = aligner.align_batch(reads)
+        aligner.flush_window()
+        if window_flushes is not None:
+            window_flushes.extend(aligner.windowed_flushes)
         return _alignment_work(counters)
 
     if application == "assembly":
@@ -153,9 +169,13 @@ def run_application(
         annotator = ExactWordAnnotator(
             fm,
             engine=QueryEngine(FMIndexBackend(fm_index=fm), shards=shards, executor=executor),
+            window=window,
         )
         counters = AnnotationCounters()
         annotator.annotate(words, counters)
+        annotator.flush_window()
+        if window_flushes is not None:
+            window_flushes.extend(annotator.windowed_flushes)
         return WorkCounters(
             fm_bases_searched=counters.bases_searched,
             dp_cells=0,

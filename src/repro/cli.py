@@ -40,6 +40,7 @@ EXPERIMENT_NAMES = (
     "fig15-window",
     "fig18",
     "fig18-batching",
+    "fig18-window",
     "fig21",
     "fig23",
     "shard-scaling",
@@ -86,19 +87,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--window",
         type=int,
         default=8,
-        help="largest coalescing window W for fig15-window (sweeps powers of two up to W)",
+        help="largest coalescing window W for fig15-window and fig18-window "
+        "(sweeps powers of two up to W)",
     )
     experiment.add_argument(
         "--batch-size",
         type=int,
-        default=256,
-        help="queries per batch for shard-scaling",
+        default=None,
+        help="queries per batch (default: 256 for shard-scaling, 64 for fig18-window)",
+    )
+    experiment.add_argument(
+        "--batch-count",
+        type=int,
+        default=None,
+        help="consecutive query batches for fig18-window (default: 16)",
     )
     experiment.add_argument(
         "--query-length",
         type=int,
-        default=48,
-        help="query length for shard-scaling",
+        default=None,
+        help="query length for shard-scaling and fig18-window (default: 48)",
     )
     experiment.add_argument(
         "--repeats",
@@ -110,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         default=None,
         metavar="PATH",
-        help="also write the shard-scaling record to PATH as JSON",
+        help="also write the shard-scaling / window-capacity record to PATH as JSON",
     )
     _add_sharding_flags(experiment)
 
@@ -214,6 +222,28 @@ def _run_experiment(args: argparse.Namespace) -> int:
         print(ex.format_fig15(result))
     elif name == "fig18":
         print(ex.format_fig18(ex.run_fig18(genome_length=args.genome_length, seed=args.seed)))
+    elif name == "fig18-window":
+        windows = [1]
+        while windows[-1] * 2 <= max(1, args.window):
+            windows.append(windows[-1] * 2)
+        query_length = args.query_length or 48
+        result = ex.run_fig18_window(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            windows=tuple(windows),
+            batch_count=args.batch_count or 16,
+            batch_size=args.batch_size or 64,
+            query_length=query_length,
+        )
+        print(ex.format_fig18_window(result))
+        if args.json:
+            ex.write_window_capacity_json(
+                args.json, result, seed=args.seed, query_length=query_length
+            )
+            print(f"wrote {args.json}")
+        if not result.w1_matches_unwindowed:
+            print("ERROR: W=1 sweep diverged from the unwindowed per-batch path")
+            return 1
     elif name == "fig18-batching":
         print(
             ex.format_fig18_batching(
@@ -223,13 +253,15 @@ def _run_experiment(args: argparse.Namespace) -> int:
     elif name == "shard-scaling":
         shard_counts = tuple(sorted({1, 2, args.shards or 4}))
         executors = (args.executor,) if args.executor else ("thread", "process")
+        batch_size = args.batch_size or 256
+        query_length = args.query_length or 48
         rows = ex.run_shard_scaling(
             genome_length=args.genome_length,
             seed=args.seed,
             shard_counts=shard_counts,
             executors=executors,
-            batch_size=args.batch_size,
-            query_length=args.query_length,
+            batch_size=batch_size,
+            query_length=query_length,
             repeats=args.repeats,
             include_forced=True,
         )
@@ -239,8 +271,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 args.json,
                 rows,
                 genome_length=args.genome_length,
-                batch_size=args.batch_size,
-                query_length=args.query_length,
+                batch_size=batch_size,
+                query_length=query_length,
                 seed=args.seed,
                 repeats=args.repeats,
             )

@@ -33,6 +33,7 @@ from .coalesce import (
     StepTrace,
     TailContribution,
     coalesce_requests,
+    pack_requests,
 )
 from .engine import BatchResult, QueryEngine, WorkerPoolOwner
 from .sharded import (
@@ -71,6 +72,7 @@ __all__ = [
     "WorkerPoolOwner",
     "available_backends",
     "coalesce_requests",
+    "pack_requests",
     "create_backend",
     "default_executor",
     "default_shards",

@@ -42,7 +42,26 @@ __all__ = [
     "StepTrace",
     "TailContribution",
     "coalesce_requests",
+    "pack_requests",
 ]
+
+
+def pack_requests(requests: Sequence[OccRequest]) -> tuple[np.ndarray, int]:
+    """Pack request objects into one ``kmer * span + pos`` int64 key array.
+
+    The single definition of the packing scheme shared by every consumer
+    that turns an object sequence into columns (:meth:`RequestStream
+    .extend`, the window buffer, :meth:`~repro.engine.window.WindowedBatch
+    .from_requests`): *span* is the exclusive position bound
+    ``max(pos) + 1`` (1 for an empty sequence), so ascending key order is
+    the lexicographic ``(kmer, pos)`` order.
+    """
+    if not requests:
+        return np.empty(0, dtype=np.int64), 1
+    kmers = np.array([request.packed_kmer for request in requests], dtype=np.int64)
+    positions = np.array([request.pos for request in requests], dtype=np.int64)
+    span = int(positions.max()) + 1
+    return kmers * span + positions, span
 
 
 @dataclass(frozen=True)
@@ -158,10 +177,17 @@ class RequestStream(Sequence):
             return
         requests = list(other)
         if requests:
-            kmers = np.array([request.packed_kmer for request in requests], dtype=np.int64)
-            positions = np.array([request.pos for request in requests], dtype=np.int64)
-            span = int(positions.max()) + 1
-            self.append_step(kmers * span + positions, span)
+            self.append_step(*pack_requests(requests))
+
+    def chunks(self) -> list[tuple[np.ndarray, int]]:
+        """The per-step ``(packed keys, span)`` pairs, arrays by reference.
+
+        The key arrays are never mutated in place after being appended, so
+        handing them out by reference is also a snapshot: a consumer — the
+        :class:`~repro.engine.window.CoalescingWindow` buffer — can hold
+        the chunk list while the producing stats object keeps growing.
+        """
+        return list(zip(self._key_chunks, self._spans))
 
     def snapshot(self) -> "RequestStream":
         """A copy decoupled from future growth of this stream.

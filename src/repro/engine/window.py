@@ -11,6 +11,16 @@ window as one merged stream in which every unique ``(k-mer, pos)`` pair
 appears exactly once, in the ``(k-mer, pos)``-sorted order the stage-1
 scheduler wants.
 
+The window is **columnar end-to-end**: buffered batches are kept as the
+packed ``kmer * span + pos`` int64 key arrays the engine's
+:class:`~repro.engine.coalesce.RequestStream` already carries, the flush
+dedupe is one vectorized ``np.unique`` over those keys, and the flushed
+:class:`WindowedBatch` holds the merged key array itself.  No
+:class:`~repro.exma.search.OccRequest` objects are materialised on the
+way through — the batch only builds them lazily when a legacy consumer
+(the CAM schedulers, ``to_search_stats``, tests) iterates its
+``requests`` view.
+
 Two oracle properties pin the semantics down (``tests/test_window.py``):
 
 * **W = 1** is per-batch coalescing exactly — each flush equals
@@ -25,37 +35,110 @@ Two oracle properties pin the semantics down (``tests/test_window.py``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..exma.search import OccRequest
-from .coalesce import RequestStream
+from .coalesce import RequestStream, pack_requests
 
 __all__ = ["CoalescingWindow", "WindowedBatch", "windowed_request_stream"]
 
 
-@dataclass(frozen=True)
-class WindowedBatch:
-    """One flushed window: the merged unique requests of up to W batches."""
+class WindowedBatch(Sequence):
+    """One flushed window: the merged unique requests of up to W batches.
 
-    #: Unique ``(k-mer, pos)`` requests, sorted (k-mer, pos)-major.
-    requests: tuple[OccRequest, ...]
-    #: Number of batches merged into this window.
-    batches: int
-    #: Requests entering the window (after per-batch, pre-window merging).
-    issued: int
+    The merged stream is stored columnar — ``keys`` holds each unique
+    ``(k-mer, pos)`` pair once as a packed ``kmer * span + pos`` int64,
+    sorted ascending, which equals the lexicographic ``(k-mer, pos)``
+    order the stage-1 scheduler wants.  ``kmers``/``positions`` decompose
+    the keys on demand; the ``requests`` view materialises
+    :class:`~repro.exma.search.OccRequest` objects lazily (cached), so
+    only legacy consumers pay for objects.
+    """
+
+    __slots__ = ("keys", "span", "batches", "issued", "_columns", "_view")
+
+    def __init__(self, keys: np.ndarray, span: int, batches: int, issued: int) -> None:
+        #: Unique packed ``kmer * span + pos`` keys, sorted ascending.
+        self.keys = keys
+        #: Exclusive upper bound on positions used to pack ``keys``.
+        self.span = int(span)
+        #: Number of batches merged into this window.
+        self.batches = batches
+        #: Requests entering the window (after per-batch, pre-window merging).
+        self.issued = issued
+        self._columns: tuple[np.ndarray, np.ndarray] | None = None
+        self._view: tuple[OccRequest, ...] | None = None
+
+    @classmethod
+    def from_requests(
+        cls, requests: Sequence[OccRequest], batches: int = 1, issued: int | None = None
+    ) -> "WindowedBatch":
+        """Build a window from already-unique, ``(k-mer, pos)``-sorted requests."""
+        keys, span = pack_requests(requests)
+        return cls(
+            keys=keys,
+            span=span,
+            batches=batches,
+            issued=len(requests) if issued is None else issued,
+        )
 
     @property
     def unique(self) -> int:
         """Requests surviving the window merge."""
-        return len(self.requests)
+        return int(self.keys.size)
 
     @property
     def merged(self) -> int:
         """Requests eliminated by the cross-batch merge."""
         return self.issued - self.unique
+
+    def _decomposed(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._columns is None:
+            self._columns = (self.keys // self.span, self.keys % self.span)
+        return self._columns
+
+    @property
+    def kmers(self) -> np.ndarray:
+        """Unique k-mer codes, in merged (k-mer-major) order."""
+        return self._decomposed()[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Unique Occ positions, aligned with :attr:`kmers`."""
+        return self._decomposed()[1]
+
+    @property
+    def requests(self) -> tuple[OccRequest, ...]:
+        """Lazy object view of the merged stream (cached)."""
+        if self._view is None:
+            kmers, positions = self._decomposed()
+            self._view = tuple(
+                OccRequest(packed_kmer=kmer, pos=pos)
+                for kmer, pos in zip(kmers.tolist(), positions.tolist())
+            )
+        return self._view
+
+    @property
+    def materialised(self) -> bool:
+        """Whether the object view has been built (observability for tests)."""
+        return self._view is not None
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def __iter__(self) -> Iterator[OccRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowedBatch({self.unique} unique of {self.issued} issued, "
+            f"{self.batches} batches)"
+        )
 
 
 class CoalescingWindow:
@@ -76,7 +159,7 @@ class CoalescingWindow:
         if capacity < 1:
             raise ValueError("window capacity must be >= 1")
         self._capacity = capacity
-        self._buffered: list[list[OccRequest]] = []
+        self._buffered: list[list[tuple[np.ndarray, int]]] = []
 
     @property
     def capacity(self) -> int:
@@ -88,61 +171,65 @@ class CoalescingWindow:
         """Batches currently buffered, awaiting a flush."""
         return len(self._buffered)
 
-    def push(self, requests: Sequence[OccRequest]) -> WindowedBatch | None:
-        """Buffer one batch; return the merged window once W are buffered.
+    @staticmethod
+    def _chunks(requests: Sequence[OccRequest]) -> list[tuple[np.ndarray, int]]:
+        """One batch's stream as packed ``(keys, span)`` column chunks.
 
         The engine's columnar :class:`~repro.engine.coalesce.RequestStream`
-        is buffered as a :meth:`~repro.engine.coalesce.RequestStream
-        .snapshot` (no object materialisation, but decoupled from the
-        producing stats object growing afterwards); any other request
-        sequence is copied into a list.
+        and a prior :class:`WindowedBatch` hand their key arrays over by
+        reference (the producers never mutate them in place, so this is
+        also the snapshot that decouples the buffer from a stats object
+        growing afterwards); any other request sequence is packed once.
         """
         if isinstance(requests, RequestStream):
-            self._buffered.append(requests.snapshot())
-        else:
-            self._buffered.append(list(requests))
+            return requests.chunks()
+        if isinstance(requests, WindowedBatch):
+            return [(requests.keys, requests.span)] if requests.keys.size else []
+        requests = list(requests)
+        if not requests:
+            return []
+        return [pack_requests(requests)]
+
+    def push(self, requests: Sequence[OccRequest]) -> WindowedBatch | None:
+        """Buffer one batch; return the merged window once W are buffered."""
+        self._buffered.append(self._chunks(requests))
         if len(self._buffered) >= self._capacity:
             return self.flush()
         return None
 
-    @staticmethod
-    def _columns(batch: Sequence[OccRequest]) -> tuple[np.ndarray, np.ndarray]:
-        """One buffered batch as (kmers, positions) int64 arrays."""
-        if isinstance(batch, RequestStream):
-            return batch.kmers, batch.positions
-        return (
-            np.array([request.packed_kmer for request in batch], dtype=np.int64),
-            np.array([request.pos for request in batch], dtype=np.int64),
-        )
-
     def flush(self) -> WindowedBatch | None:
         """Merge and emit whatever is buffered (``None`` when empty).
 
-        The cross-batch dedupe is one vectorized ``np.unique`` over packed
-        ``kmer * span + pos`` keys (*span* bounds the window's positions),
-        whose ascending order equals the lexicographic ``(kmer, pos)``
-        order the stage-1 scheduler wants.
+        The cross-batch dedupe is one vectorized ``np.unique`` over the
+        buffered packed ``kmer * span + pos`` keys, whose ascending order
+        equals the lexicographic ``(kmer, pos)`` order the stage-1
+        scheduler wants.  Chunks packed under different spans (streams
+        from different references) are re-based onto the widest span
+        before the union; the common case — one engine, one span — is a
+        plain concatenate of the arrays the coalescer already produced.
         """
         if not self._buffered:
             return None
-        issued = sum(len(batch) for batch in self._buffered)
+        chunks = [chunk for batch in self._buffered for chunk in batch]
         batches = len(self._buffered)
-        columns = [self._columns(batch) for batch in self._buffered]
+        issued = sum(int(keys.size) for keys, _ in chunks)
         self._buffered = []
         if issued == 0:
-            return WindowedBatch(requests=(), batches=batches, issued=0)
-        kmers = np.concatenate([kmer_column for kmer_column, _ in columns])
-        positions = np.concatenate([position_column for _, position_column in columns])
-        span = int(positions.max()) + 1
-        keys = np.unique(kmers * span + positions)
-        return WindowedBatch(
-            requests=tuple(
-                OccRequest(packed_kmer=kmer, pos=pos)
-                for kmer, pos in zip((keys // span).tolist(), (keys % span).tolist())
-            ),
-            batches=batches,
-            issued=issued,
-        )
+            return WindowedBatch(
+                keys=np.empty(0, dtype=np.int64), span=1, batches=batches, issued=0
+            )
+        spans = {span for _, span in chunks}
+        if len(spans) == 1:
+            span = spans.pop()
+            packed = [keys for keys, _ in chunks]
+        else:
+            span = max(spans)
+            packed = [
+                keys if chunk_span == span else (keys // chunk_span) * span + keys % chunk_span
+                for keys, chunk_span in chunks
+            ]
+        keys = np.unique(np.concatenate(packed))
+        return WindowedBatch(keys=keys, span=span, batches=batches, issued=issued)
 
     def stream(
         self, batch_streams: Iterable[Sequence[OccRequest]]

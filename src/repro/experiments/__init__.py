@@ -17,6 +17,14 @@ from .fig15_window import (
     shard_scaling_report,
     write_shard_scaling_json,
 )
+from .fig18_window import (
+    Fig18WindowResult,
+    Fig18WindowRow,
+    format_fig18_window,
+    run_fig18_window,
+    window_capacity_report,
+    write_window_capacity_json,
+)
 from .fig18_throughput import (
     BatchingRow,
     Fig18Result,
@@ -77,6 +85,12 @@ __all__ = [
     "format_fig18_batching",
     "run_fig18",
     "run_fig18_batching",
+    "Fig18WindowResult",
+    "Fig18WindowRow",
+    "format_fig18_window",
+    "run_fig18_window",
+    "window_capacity_report",
+    "write_window_capacity_json",
     "ApplicationOutcome",
     "Fig19_20Result",
     "format_fig19",

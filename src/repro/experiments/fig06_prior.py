@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..accel.baselines import CpuThroughputModel, SoftwareAlgorithm
 from ..genome.datasets import HUMAN_PAPER_LENGTH, build_dataset

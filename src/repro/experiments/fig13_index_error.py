@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..exma.learned_index import NaiveLearnedIndex
 from ..exma.mtl_index import MTLIndex

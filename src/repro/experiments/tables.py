@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..accel.baselines import standard_accelerator_suite
-from ..accel.config import DEFAULT_ACCELERATOR_CONFIG, DEFAULT_CPU_CONFIG
+from ..accel.config import DEFAULT_CPU_CONFIG
 from ..accel.metrics import SearchThroughput
 from ..hw.dram import DDR4Config
 from ..hw.energy import (

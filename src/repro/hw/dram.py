@@ -24,7 +24,7 @@ DRAMsim2; DESIGN.md records this substitution.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: DDR4 burst length in bytes for a 64-bit channel (BL8).
 BURST_BYTES = 64

@@ -110,12 +110,15 @@ def schedule_windowed(
 
     The engine emits one request stream per query batch — typically the
     columnar :class:`~repro.engine.coalesce.RequestStream`, which the
-    window merges array-side without materialising request objects;
-    before those streams reach the CAM they pass a
-    :class:`CoalescingWindow` of W consecutive batches, so each unique
+    window merges array-side; the flushed
+    :class:`~repro.engine.window.WindowedBatch` stays columnar too, and
+    request objects materialise only here, at the CAM boundary, as the
+    schedulers iterate each flush's lazy ``requests`` view.  Each unique
     ``(k-mer, pos)`` pair of a window is scheduled exactly once (the
     Fig. 15 sweep knob).  *window* may be a capacity or a prebuilt window
-    instance.
+    instance.  For the full pipeline with per-flush cycle/energy
+    accounting, see :meth:`repro.accel.exma_accelerator.ExmaAccelerator
+    .run_stream`.
     """
     if isinstance(window, int):
         window = CoalescingWindow(window)

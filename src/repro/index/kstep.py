@@ -18,12 +18,12 @@ implementation's behaviour.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..genome.alphabet import SENTINEL
-from .fmindex import Interval, SearchTrace
+from .fmindex import Interval
 from .suffix_array import suffix_array
 
 #: Alphabet size used by the paper's size formula (A, C, G, T).

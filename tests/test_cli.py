@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENT_NAMES, build_parser, main
@@ -139,3 +141,21 @@ class TestShardingFlags:
         assert exit_code == 0
         assert "coalescing-window sweep" in out
         assert " 1 " in out and " 2 " in out
+
+    def test_fig18_window_experiment_runs_and_writes_json(self, tmp_path, capsys):
+        report_path = tmp_path / "window_capacity.json"
+        exit_code = main(
+            [
+                "experiment", "fig18-window", "--genome-length", "4000",
+                "--window", "2", "--json", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "throughput per window capacity" in out
+        assert "W=1 matches unwindowed: yes" in out
+        report = json.loads(report_path.read_text())
+        assert report["benchmark"] == "window_capacity"
+        assert report["w1_matches_unwindowed"] is True
+        assert [row["window"] for row in report["rows"]] == [1, 2]
+        assert report["rows"][0]["total_cycles"] == report["unwindowed"]["total_cycles"]

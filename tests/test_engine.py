@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import (
-    BatchStats,
     ExmaBackend,
     FMIndexBackend,
     LisaBackend,
@@ -25,7 +24,7 @@ from repro.exma.search import ExmaSearch
 from repro.exma.table import ExmaTable
 from repro.index.fmindex import FMIndex
 from repro.lisa.search import LisaIndex
-from repro.testing import brute_force_find, random_queries, reference_and_queries
+from repro.testing import brute_force_find, reference_and_queries
 
 #: (genome_length, query_count, query_length, seed) per randomized case.
 CASES = [(400, 24, 12, 0), (700, 30, 17, 1), (1000, 40, 21, 2)]

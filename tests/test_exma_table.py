@@ -8,7 +8,6 @@ import pytest
 from repro.exma.table import ExmaTable, exma_size_breakdown
 from repro.genome.alphabet import pack_kmer
 from repro.genome.datasets import HUMAN_PAPER_LENGTH
-from repro.genome.sequence import random_genome
 
 
 class TestConstruction:

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.testing import brute_force_find
-from repro.genome.sequence import random_genome
 from repro.index.fmindex import (
     DEFAULT_BUCKET_WIDTH,
     FMIndex,

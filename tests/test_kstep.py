@@ -6,7 +6,6 @@ import pytest
 
 from repro.testing import brute_force_find
 from repro.genome.datasets import HUMAN_PAPER_LENGTH
-from repro.index.fmindex import FMIndex
 from repro.index.kstep import KStepFMIndex, KStepStats, kstep_size_bytes
 
 

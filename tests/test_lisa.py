@@ -9,8 +9,7 @@ from hypothesis import strategies as st
 
 from repro.testing import brute_force_find
 from repro.genome.datasets import HUMAN_PAPER_LENGTH
-from repro.genome.sequence import random_genome
-from repro.index.fmindex import FMIndex, Interval
+from repro.index.fmindex import Interval
 from repro.lisa.ipbwt import IPBWT, lisa_size_bytes
 from repro.lisa.learned_index import LinearModel, PredictionStats, RecursiveModelIndex
 from repro.lisa.search import LisaIndex, LisaSearchStats

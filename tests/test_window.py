@@ -111,9 +111,60 @@ class TestWindowOracle:
             CoalescingWindow(0)
 
     def test_windowed_batch_counters(self):
-        flushed = WindowedBatch(requests=(R(1, 1),), batches=2, issued=5)
+        flushed = WindowedBatch.from_requests((R(1, 1),), batches=2, issued=5)
         assert flushed.unique == 1
         assert flushed.merged == 4
+
+
+class TestColumnarFlush:
+    """The flush path never materialises request objects."""
+
+    def test_flush_stays_columnar_until_requests_accessed(self):
+        from repro.engine import RequestStream
+
+        stream = RequestStream()
+        stream.append_step(np.array([1 * 10 + 0, 2 * 10 + 5]), 10)
+        flushed = CoalescingWindow(1).push(stream)
+        assert flushed is not None
+        assert not flushed.materialised
+        assert flushed.keys.dtype == np.int64
+        assert np.array_equal(flushed.kmers, [1, 2])
+        assert np.array_equal(flushed.positions, [0, 5])
+        assert not flushed.materialised  # column access keeps it columnar
+        assert flushed.requests == (R(1, 0), R(2, 5))
+        assert flushed.materialised
+
+    def test_flush_keys_are_unique_and_sorted(self):
+        batches = [[R(3, 1), R(3, 1), R(1, 9)], [R(3, 1), R(2, 0)]]
+        flushed = CoalescingWindow(2)
+        flushed.push(batches[0])
+        merged = flushed.push(batches[1])
+        assert merged is not None
+        assert np.array_equal(merged.keys, np.unique(merged.keys))
+        assert merged.unique == 3
+        assert merged.issued == 5
+
+    def test_mixed_span_chunks_rebase_onto_widest_span(self):
+        from repro.engine import RequestStream
+
+        narrow = RequestStream()
+        narrow.append_step(np.array([2 * 4 + 3]), 4)  # (2, 3) with span 4
+        wide = RequestStream()
+        wide.append_step(np.array([2 * 100 + 3, 5 * 100 + 7]), 100)
+        window = CoalescingWindow(2)
+        window.push(narrow)
+        merged = window.push(wide)
+        assert merged is not None
+        # (2, 3) appears in both spans: one survivor after the re-base.
+        assert merged.unique == 2
+        assert merged.requests == (R(2, 3), R(5, 7))
+
+    def test_windowed_batch_is_a_sequence(self):
+        flushed = CoalescingWindow(1).push([R(4, 2), R(1, 1)])
+        assert flushed is not None
+        assert len(flushed) == 2
+        assert flushed[0] == R(1, 1)
+        assert list(flushed) == [R(1, 1), R(4, 2)]
 
 
 class TestScheduleWindowed:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate on a recorded replay comparison (``BENCH_accel_replay.json``).
+
+The columnar accelerator replay is only allowed to exist because it is
+(a) exactly equivalent to the object reference and (b) much faster.  This
+gate fails when either leg of that bargain breaks:
+
+* every row must record ``results_equal`` — the columnar
+  :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run` produced a
+  field-for-field identical result to
+  :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_reference`;
+* every row's object-to-columnar speedup must clear the threshold
+  (default 2x — the CI smoke runs at toy scale where fixed overheads
+  eat most of the win; the committed record at the Fig. 18 workload
+  clears 10x).
+
+Exit codes: 0 when the gate holds, 1 on a violation, 2 on malformed
+input.
+
+Usage: check_accel_replay.py BENCH_accel_replay.json [MIN_SPEEDUP]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Minimum tolerated object-to-columnar speedup on any row.
+DEFAULT_MIN_SPEEDUP = 2.0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(
+            f"usage: {argv[0]} BENCH_accel_replay.json [MIN_SPEEDUP]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        min_speedup = DEFAULT_MIN_SPEEDUP if len(argv) == 2 else float(argv[2])
+        with open(argv[1], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        # ValueError covers both a malformed threshold and invalid JSON
+        # (json.JSONDecodeError subclasses it).
+        print(f"cannot read the replay record: {error}", file=sys.stderr)
+        return 2
+    rows = report.get("rows", [])
+    if not rows:
+        print("no replay rows recorded", file=sys.stderr)
+        return 2
+
+    failures = []
+    for row in rows:
+        label = row.get("label", "?")
+        speedup = row.get("speedup", 0.0)
+        print(
+            f"{label:>9s}  requests={row.get('requests', 0):>8d}  "
+            f"object={row.get('object_seconds', 0.0):8.3f}s  "
+            f"columnar={row.get('columnar_seconds', 0.0):8.4f}s  "
+            f"{speedup:6.1f}x"
+        )
+        if not row.get("results_equal", False):
+            failures.append(
+                f"row {label!r}: columnar replay diverged from the object reference"
+            )
+        if speedup < min_speedup:
+            failures.append(
+                f"row {label!r}: speedup {speedup:.2f}x below the {min_speedup:.1f}x gate"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: columnar replay matches the object reference on every row "
+        f"and clears {min_speedup:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

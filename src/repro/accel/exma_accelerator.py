@@ -13,6 +13,17 @@ The model replays a request stream produced by
 :meth:`repro.exma.search.ExmaSearch.request_stream` against the configured
 cache/CAM/PE/DRAM models and returns throughput, bandwidth utilisation,
 cache hit rates and energy — the quantities behind Figs. 18, 20, 21 and 22.
+
+The replay itself is **columnar**: :meth:`ExmaAccelerator.run` consumes the
+packed ``(k-mer, pos)`` arrays that the engine's
+:class:`~repro.engine.coalesce.RequestStream` and the window's
+:class:`~repro.engine.window.WindowedBatch` already carry, schedules them
+with array sorts, simulates both caches set-grouped, expands the increment
+fetches into a structured DRAM trace and replays each channel's columns —
+no per-request Python objects anywhere on the hot path.
+:meth:`ExmaAccelerator.run_reference` keeps the original request-at-a-time
+object pipeline as the oracle the equivalence suite replays against; both
+paths produce field-for-field identical :class:`AcceleratorRunResult`\\ s.
 """
 
 from __future__ import annotations
@@ -20,16 +31,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from ..engine.coalesce import RequestStream
 from ..engine.window import CoalescingWindow, WindowedBatch
 from ..exma.chain import compression_ratio as chain_ratio
 from ..exma.mtl_index import MTLIndex
 from ..exma.search import OccRequest
 from ..exma.table import ExmaTable
-from ..hw.cache import CacheStats, SetAssociativeCache
-from ..hw.dram import BURST_BYTES, DRAMModel, DRAMStats, MemoryRequest
+from ..hw.cache import CacheStats, SetAssociativeCache, simulate_lru_hits
+from ..hw.dram import BURST_BYTES, DRAMModel, DRAMStats, MemoryRequest, MemoryTrace
 from ..hw.energy import DRAM_SYSTEM_POWER_W, EnergyLedger
 from ..hw.pe_array import InferenceEngine
-from ..hw.scheduler import FrFcfsScheduler, TwoStageScheduler, pair_requests_by_kmer
+from ..hw.scheduler import (
+    FrFcfsScheduler,
+    TwoStageScheduler,
+    keep_open_flags,
+    pair_requests_by_kmer,
+    scheduled_orders,
+)
 from .config import ExmaAcceleratorConfig
 from .metrics import SearchThroughput
 
@@ -227,6 +247,12 @@ class ExmaAccelerator:
         self._engine = InferenceEngine(self._config.pe_config())
         self._chain_ratio = self._effective_chain_ratio()
         self._layout = self._compute_layout()
+        if index is not None:
+            self._modelled_lookup = index.modelled_lookup(table.kmer_count)
+            self._bucket_lookup = index.bucket_lookup(table.kmer_count)
+        else:
+            self._modelled_lookup = np.zeros(table.kmer_count, dtype=bool)
+            self._bucket_lookup = None
 
     # ------------------------------------------------------------------ #
     # Layout and compression
@@ -281,18 +307,322 @@ class ExmaAccelerator:
         name: str = "EXMA",
         bases_processed: int | None = None,
     ) -> AcceleratorRunResult:
-        """Replay *requests* and return the measured statistics.
+        """Replay *requests* columnar and return the measured statistics.
+
+        The whole replay stays array-shaped: scheduling orders come from
+        :func:`~repro.hw.scheduler.scheduled_orders`, both caches are
+        simulated over their full access sequences with
+        :func:`~repro.hw.cache.simulate_lru_hits`, Occ resolution and MTL
+        prediction run grouped by k-mer, the increment fetches expand into
+        a :class:`~repro.hw.dram.MemoryTrace` with one row-span
+        ``repeat``/``arange`` pass, and every DRAM channel consumes its
+        column shard.  Field-for-field identical to
+        :meth:`run_reference` (the request-at-a-time object model) by the
+        oracle suite's contract.
 
         Args:
-            requests: the Occ request stream to replay — a list, or the
-                engine's columnar :class:`~repro.engine.coalesce
-                .RequestStream` (materialised lazily as the schedulers
-                iterate it).
+            requests: the Occ request stream to replay — the engine's
+                columnar :class:`~repro.engine.coalesce.RequestStream`, a
+                flushed :class:`~repro.engine.window.WindowedBatch` (both
+                consumed without materialising request objects), or any
+                :class:`~repro.exma.search.OccRequest` sequence.
             bases_processed: DNA bases the stream represents.  Defaults to
                 the pre-coalescing estimate ``len(requests) * k / 2``; pass
                 the issued-request count explicitly when replaying a
                 coalesced stream, otherwise throughput is understated by
                 the coalescing factor.
+        """
+        config = self._config
+        kmers, positions = _request_columns(requests)
+        count = int(kmers.size)
+        ledger = EnergyLedger()
+        row_bytes = config.dram_config().row_bytes
+        cam_entries = config.cam_entries
+
+        stage1, stage2 = scheduled_orders(
+            kmers, positions, cam_entries, config.two_stage_scheduling
+        )
+
+        # Stage 1: base-cache accesses in per-batch k-mer order.  The
+        # cache's behaviour depends only on its own access sequence, so
+        # the whole run's stage-1 stream is simulated in one call even
+        # though the trace interleaves stage-1 and stage-2 per CAM batch.
+        base_addresses = (
+            self._layout["base_offset"] + kmers[stage1] * BASE_ENTRY_BYTES
+        )
+        base_hits = simulate_lru_hits(
+            base_addresses,
+            config.base_cache_bytes,
+            config.cache_line_bytes,
+            config.base_cache_ways,
+        )
+        base_miss = ~base_hits
+
+        # Stage 2 columns, in per-batch pos order.
+        stage2_kmers = kmers[stage2]
+        stage2_positions = positions[stage2]
+        keep_open = keep_open_flags(stage2_kmers, cam_entries)
+        slots = np.arange(count, dtype=np.int64)
+        streams = slots % cam_entries
+        modelled = self._modelled_lookup[stage2_kmers] if count else np.zeros(0, bool)
+        modelled_slots = np.flatnonzero(modelled)
+
+        true_index = self._table.occ_batch(stage2_kmers, stage2_positions)
+        predicted = np.empty(count, dtype=np.int64)
+        entries = np.empty(count, dtype=np.int64)
+        if modelled_slots.size:
+            assert self._index is not None
+            predicted[modelled] = self._index.predict_many(
+                stage2_kmers[modelled], stage2_positions[modelled]
+            )
+            entries[modelled] = 2 + np.abs(true_index[modelled] - predicted[modelled])
+        exact = ~modelled
+        if count and exact.any():
+            frequency = self._table.frequency_batch(stage2_kmers[exact])
+            exact_entries = np.maximum(
+                1, np.minimum(frequency, true_index[exact] + 1)
+            )
+            entries[exact] = exact_entries
+            predicted[exact] = np.maximum(0, true_index[exact] - exact_entries + 1)
+
+        # Index-cache accesses: the shared bucket node then the leaf, per
+        # modelled request, again simulated as one sequence.
+        if modelled_slots.size:
+            node_ids = np.empty(modelled_slots.size * 2, dtype=np.int64)
+            node_ids[0::2] = self._bucket_lookup[stage2_kmers[modelled_slots]]
+            node_ids[1::2] = (
+                self._index.shared_node_count + stage2_kmers[modelled_slots]
+            )
+            index_addresses = (
+                self._layout["index_offset"] + node_ids * SHARED_NODE_BYTES
+            )
+            index_hits = simulate_lru_hits(
+                index_addresses,
+                config.index_cache_bytes,
+                config.cache_line_bytes,
+                config.index_cache_ways,
+            )
+        else:
+            index_addresses = np.empty(0, dtype=np.int64)
+            index_hits = np.empty(0, dtype=bool)
+
+        inference_lookups = int(modelled_slots.size)
+        increment_entries = int(entries.sum()) if count else 0
+
+        # Increment fetch: byte ranges -> row-span expansion into chunks.
+        if count:
+            base_pointers = self._table.bases[stage2_kmers]
+            base_pointers = np.where(
+                base_pointers >= self._table.max_sentinel, 0, base_pointers
+            )
+            entry_bytes = INCREMENT_ENTRY_BYTES * self._chain_ratio
+            fetch_start = self._layout["increment_offset"] + (
+                (base_pointers + predicted).astype(np.float64) * entry_bytes
+            ).astype(np.int64)
+            fetch_bytes = np.maximum(
+                1,
+                (
+                    (entries * INCREMENT_ENTRY_BYTES).astype(np.float64)
+                    * self._chain_ratio
+                ).astype(np.int64),
+            )
+            (
+                chunk_rows,
+                chunk_bytes,
+                chunks_per_slot,
+            ) = _expand_row_spans(fetch_start, fetch_bytes, row_bytes, BURST_BYTES * 8)
+        else:
+            chunk_rows = chunk_bytes = np.empty(0, dtype=np.int64)
+            chunks_per_slot = np.zeros(0, dtype=np.int64)
+
+        trace = self._assemble_trace(
+            count,
+            cam_entries,
+            row_bytes,
+            base_addresses,
+            base_miss,
+            modelled_slots,
+            index_addresses,
+            index_hits,
+            chunk_rows,
+            chunk_bytes,
+            chunks_per_slot,
+            keep_open,
+            streams,
+        )
+
+        if count:
+            ledger.record("scheduling_queue", count)
+            ledger.record("base_cache", count)
+            ledger.record("sched_and_row", count)
+        index_misses = int(index_hits.size - index_hits.sum())
+        dma_operations = int(base_miss.sum()) + index_misses + int(chunks_per_slot.sum())
+        if dma_operations:
+            ledger.record("dma_ctrl", dma_operations)
+        if index_hits.size:
+            ledger.record("index_cache", int(index_hits.size))
+        if inference_lookups:
+            ledger.record("inference_engine", inference_lookups)
+        if increment_entries:
+            ledger.record("decompress", increment_entries)
+
+        base_cache_stats = CacheStats(
+            hits=int(base_hits.sum()), misses=int(base_miss.sum())
+        )
+        index_cache_stats = CacheStats(
+            hits=int(index_hits.sum()), misses=index_misses
+        )
+
+        # Replay DRAM traffic, sharded over channels.
+        dram_config = config.dram_config()
+        per_channel = [
+            DRAMModel(dram_config, page_policy=config.page_policy).process_columns(
+                channel_trace
+            )
+            for channel_trace in trace.split_channels(config.channels)
+        ]
+        dram_cycles = max((stats.total_cycles for stats in per_channel), default=0)
+        dram_stats = self._merge_dram(per_channel, dram_cycles)
+
+        inference_cost = self._engine.batch_cost(inference_lookups)
+        # Convert engine cycles (800 MHz) to DRAM-clock cycles (1200 MHz).
+        dram_clock = dram_config.clock_mhz
+        inference_cycles = int(
+            inference_cost.cycles * dram_clock / self._engine.config.clock_mhz
+        )
+        total_cycles = max(dram_cycles, inference_cycles)
+        seconds = max(total_cycles / (dram_clock * 1e6), 1e-12)
+
+        bases = (
+            bases_processed if bases_processed is not None else self._bases_processed(count)
+        )
+        accelerator_energy = ledger.total_energy_j(seconds) + inference_cost.energy_pj * 1e-12
+        dram_energy = dram_stats.energy_nj * 1e-9
+
+        return AcceleratorRunResult(
+            name=name,
+            requests=count,
+            bases_processed=bases,
+            total_cycles=total_cycles,
+            dram_cycles=dram_cycles,
+            inference_cycles=inference_cycles,
+            seconds=seconds,
+            base_cache=base_cache_stats,
+            index_cache=index_cache_stats,
+            dram=dram_stats,
+            energy=ledger,
+            accelerator_energy_j=accelerator_energy,
+            dram_energy_j=dram_energy,
+            increment_entries_read=increment_entries,
+            dram_requests=len(trace),
+            per_channel=per_channel,
+        )
+
+    @staticmethod
+    def _assemble_trace(
+        count: int,
+        cam_entries: int,
+        row_bytes: int,
+        base_addresses: np.ndarray,
+        base_miss: np.ndarray,
+        modelled_slots: np.ndarray,
+        index_addresses: np.ndarray,
+        index_hits: np.ndarray,
+        chunk_rows: np.ndarray,
+        chunk_bytes: np.ndarray,
+        chunks_per_slot: np.ndarray,
+        keep_open: np.ndarray,
+        streams: np.ndarray,
+    ) -> MemoryTrace:
+        """Scatter the per-stage access columns into one issue-order trace.
+
+        The reference interleaving per CAM batch is: every stage-1 base
+        miss (stage-1 order), then per stage-2 slot its index-node misses
+        (bucket before leaf) followed by its increment chunks.  Every
+        destination offset is computed with cumulative sums, so the trace
+        materialises with a handful of scatters regardless of length.
+        """
+        if count == 0:
+            return MemoryTrace()
+        batch_starts = np.arange(0, count, cam_entries, dtype=np.int64)
+        batch_sizes = np.minimum(cam_entries, count - batch_starts)
+        slots = np.arange(count, dtype=np.int64)
+        batch_of = slots // cam_entries
+
+        index_misses_per_slot = np.zeros(count, dtype=np.int64)
+        if modelled_slots.size:
+            miss_pairs = (~index_hits).reshape(-1, 2)
+            index_misses_per_slot[modelled_slots] = miss_pairs.sum(axis=1)
+        per_slot = index_misses_per_slot + chunks_per_slot
+
+        miss_counts = base_miss.astype(np.int64)
+        stage1_per_batch = np.add.reduceat(miss_counts, batch_starts)
+        stage2_per_batch = np.add.reduceat(per_slot, batch_starts)
+        batch_offsets = np.cumsum(stage1_per_batch + stage2_per_batch)
+        batch_offsets = np.concatenate(([0], batch_offsets[:-1]))
+
+        total = int(base_miss.sum() + per_slot.sum())
+        rows = np.empty(total, dtype=np.int64)
+        nbytes = np.empty(total, dtype=np.int64)
+        keep = np.zeros(total, dtype=bool)
+        request_streams = np.zeros(total, dtype=np.int64)
+
+        # Stage-1 misses land first in their batch's span.
+        rank = np.cumsum(miss_counts) - miss_counts
+        rank -= np.repeat(rank[batch_starts], batch_sizes)
+        stage1_dest = (batch_offsets[batch_of] + rank)[base_miss]
+        rows[stage1_dest] = base_addresses[base_miss] // row_bytes
+        nbytes[stage1_dest] = BURST_BYTES
+
+        # Each stage-2 slot owns the span after its batch's stage-1
+        # misses and its predecessors' spans.
+        span_before = np.cumsum(per_slot) - per_slot
+        span_before -= np.repeat(span_before[batch_starts], batch_sizes)
+        slot_offsets = (
+            batch_offsets[batch_of] + stage1_per_batch[batch_of] + span_before
+        )
+
+        if modelled_slots.size:
+            index_rows = index_addresses // row_bytes
+            modelled_offsets = slot_offsets[modelled_slots]
+            modelled_streams = streams[modelled_slots]
+            bucket_missed = miss_pairs[:, 0]
+            leaf_missed = miss_pairs[:, 1]
+            bucket_dest = modelled_offsets[bucket_missed]
+            rows[bucket_dest] = index_rows[0::2][bucket_missed]
+            nbytes[bucket_dest] = BURST_BYTES
+            request_streams[bucket_dest] = modelled_streams[bucket_missed]
+            leaf_dest = (modelled_offsets + bucket_missed)[leaf_missed]
+            rows[leaf_dest] = index_rows[1::2][leaf_missed]
+            nbytes[leaf_dest] = BURST_BYTES
+            request_streams[leaf_dest] = modelled_streams[leaf_missed]
+
+        chunk_dest = np.repeat(
+            slot_offsets + index_misses_per_slot, chunks_per_slot
+        ) + _segment_arange(chunks_per_slot)
+        rows[chunk_dest] = chunk_rows
+        nbytes[chunk_dest] = chunk_bytes
+        keep[chunk_dest] = np.repeat(keep_open, chunks_per_slot)
+        request_streams[chunk_dest] = np.repeat(streams, chunks_per_slot)
+        return MemoryTrace(
+            rows=rows, nbytes=nbytes, keep_open=keep, streams=request_streams
+        )
+
+    def run_reference(
+        self,
+        requests: "Sequence[OccRequest]",
+        name: str = "EXMA",
+        bases_processed: int | None = None,
+    ) -> AcceleratorRunResult:
+        """Replay *requests* one at a time through the object pipeline.
+
+        The original request-at-a-time model — CAM scheduling via
+        :class:`~repro.hw.cam.SchedulingQueue`, per-access
+        :meth:`~repro.hw.cache.SetAssociativeCache.access` calls,
+        :class:`~repro.hw.dram.MemoryRequest` objects — kept as the
+        executable specification the oracle suite holds :meth:`run` to.
+        Orders of magnitude slower than the columnar replay; use it for
+        equivalence checks, not experiments.
         """
         config = self._config
         base_cache = SetAssociativeCache(
@@ -318,9 +648,9 @@ class ExmaAccelerator:
             for request in batch.stage1:
                 ledger.record("scheduling_queue")
                 ledger.record("base_cache")
-                hit = base_cache.access(self._base_address(request.packed_kmer))
+                address = self._base_address(request.packed_kmer)
+                hit = base_cache.access(address)
                 if not hit:
-                    address = self._base_address(request.packed_kmer)
                     dram_trace.append(
                         MemoryRequest(row=address // row_bytes, nbytes=BURST_BYTES, stream=0)
                     )
@@ -337,9 +667,9 @@ class ExmaAccelerator:
                     assert self._index is not None
                     for node_id in self._index.node_ids_for(packed):
                         ledger.record("index_cache")
-                        hit = index_cache.access(self._index_node_address(node_id))
+                        address = self._index_node_address(node_id)
+                        hit = index_cache.access(address)
                         if not hit:
-                            address = self._index_node_address(node_id)
                             dram_trace.append(
                                 MemoryRequest(
                                     row=address // row_bytes, nbytes=BURST_BYTES, stream=stream_id
@@ -433,12 +763,12 @@ class ExmaAccelerator:
         Each flush is one scheduling epoch: it is replayed with fresh
         queue/cache/DRAM state exactly as :meth:`run` would replay the
         same requests, so a W=1 stream is byte-identical per flush to the
-        per-batch path.  A :class:`WindowedBatch` is consumed columnar —
-        its packed key array reaches the scheduler directly and request
-        objects materialise only at the CAM boundary — and its bases
-        default to the *issued* (pre-window-merge) count, so throughput
-        stays comparable across window capacities while the replayed
-        stream shrinks with W.
+        per-batch path.  A :class:`WindowedBatch` is consumed columnar
+        end-to-end — its packed key array feeds the array schedulers
+        directly and no request objects exist anywhere in the replay —
+        and its bases default to the *issued* (pre-window-merge) count, so
+        throughput stays comparable across window capacities while the
+        replayed stream shrinks with W.
         """
         flushes: list[AcceleratorRunResult] = []
         batches = 0
@@ -523,3 +853,63 @@ class ExmaAccelerator:
         high) and consumes k symbols.
         """
         return max(1, request_count * self._table.k // 2)
+
+
+def _request_columns(
+    requests: "Sequence[OccRequest]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Packed k-mer and position columns of any request container.
+
+    The engine's :class:`~repro.engine.coalesce.RequestStream` and the
+    window's :class:`~repro.engine.window.WindowedBatch` hand their arrays
+    over directly (no object materialisation); plain sequences are packed
+    once.
+    """
+    if isinstance(requests, (WindowedBatch, RequestStream)):
+        return requests.kmers, requests.positions
+    count = len(requests)
+    kmers = np.fromiter((request.packed_kmer for request in requests), np.int64, count)
+    positions = np.fromiter((request.pos for request in requests), np.int64, count)
+    return kmers, positions
+
+
+def _segment_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated (repeat ranks)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def _expand_row_spans(
+    starts: np.ndarray, nbytes: np.ndarray, row_bytes: int, chunk_cap: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand byte ranges into per-row DMA chunks, vectorized.
+
+    The array form of the reference replay's cursor loop: each range
+    ``[start, start + nbytes)`` is cut at DRAM row boundaries, and every
+    row segment is fetched in bursts of at most *chunk_cap* bytes with the
+    remainder last — exactly the greedy ``min(remaining, room_in_row,
+    cap)`` sequence, produced by two ``repeat``/``arange`` expansions.
+
+    Returns ``(chunk_rows, chunk_sizes, chunks_per_range)`` with chunks in
+    range-major, ascending-row order (the issue order).
+    """
+    ends = starts + nbytes
+    first_rows = starts // row_bytes
+    rows_per_range = (ends - 1) // row_bytes - first_rows + 1
+    range_of_row = np.repeat(np.arange(starts.size, dtype=np.int64), rows_per_range)
+    row_ids = np.repeat(first_rows, rows_per_range) + _segment_arange(rows_per_range)
+    segment_start = np.maximum(starts[range_of_row], row_ids * row_bytes)
+    segment_end = np.minimum(ends[range_of_row], (row_ids + 1) * row_bytes)
+    segment_len = segment_end - segment_start
+    chunks_per_row = -(-segment_len // chunk_cap)
+    row_of_chunk = np.repeat(np.arange(row_ids.size, dtype=np.int64), chunks_per_row)
+    within_row = _segment_arange(chunks_per_row)
+    chunk_sizes = np.minimum(
+        chunk_cap, segment_len[row_of_chunk] - within_row * chunk_cap
+    )
+    chunk_rows = row_ids[row_of_chunk]
+    row_starts = np.cumsum(rows_per_range) - rows_per_range
+    chunks_per_range = np.add.reduceat(chunks_per_row, row_starts)
+    return chunk_rows, chunk_sizes, chunks_per_range

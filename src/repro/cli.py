@@ -33,6 +33,7 @@ GB = 1024**3
 
 #: Experiments runnable from the CLI, mapped to their harness entry points.
 EXPERIMENT_NAMES = (
+    "accel-replay",
     "fig1",
     "fig6",
     "fig10",
@@ -94,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=None,
-        help="queries per batch (default: 256 for shard-scaling, 64 for fig18-window)",
+        help="queries per batch (default: 256 for shard-scaling, 64 for "
+        "fig18-window, 2000 for accel-replay)",
     )
     experiment.add_argument(
         "--batch-count",
@@ -106,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-length",
         type=int,
         default=None,
-        help="query length for shard-scaling and fig18-window (default: 48)",
+        help="query length for shard-scaling, fig18-window and accel-replay "
+        "(default: 48)",
     )
     experiment.add_argument(
         "--repeats",
@@ -115,10 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats (best-of) for shard-scaling",
     )
     experiment.add_argument(
+        "--megabase-length",
+        type=int,
+        default=0,
+        help="accel-replay: also measure a megabase-scale row over a reference "
+        "of this many bp (0 disables; the recorded benchmark uses 1000000)",
+    )
+    experiment.add_argument(
         "--json",
         default=None,
         metavar="PATH",
-        help="also write the shard-scaling / window-capacity record to PATH as JSON",
+        help="also write the shard-scaling / window-capacity / accel-replay "
+        "record to PATH as JSON",
     )
     _add_sharding_flags(experiment)
 
@@ -194,7 +205,23 @@ def _run_experiment(args: argparse.Namespace) -> int:
     from . import experiments as ex
 
     name = args.name
-    if name == "fig1":
+    if name == "accel-replay":
+        result = ex.run_accel_replay(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            query_count=args.batch_size or 2000,
+            query_length=args.query_length or 48,
+            repeats=args.repeats,
+            megabase_length=args.megabase_length,
+        )
+        print(ex.format_accel_replay(result))
+        if args.json:
+            ex.write_accel_replay_json(args.json, result)
+            print(f"wrote {args.json}")
+        if not all(row.results_equal for row in result.rows):
+            print("ERROR: columnar replay diverged from the object reference")
+            return 1
+    elif name == "fig1":
         print(ex.format_fig1(ex.run_fig1(genome_length=args.genome_length, seed=args.seed)))
     elif name == "fig6":
         result = ex.run_fig6(genome_length=args.genome_length, seed=args.seed)

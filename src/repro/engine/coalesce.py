@@ -11,10 +11,13 @@ mirror of that merge, and :class:`BatchStats` records how much traffic it
 removed so the ``hw/`` cost model can replay the post-merge stream.
 
 The post-merge stream itself is **columnar**: :class:`RequestStream` keeps
-the per-step unique ``(kmer, pos)`` pairs as packed int64 arrays and only
-materialises :class:`~repro.exma.search.OccRequest` objects when a legacy
-consumer (the accelerator model, the schedulers, ``to_search_stats``)
-iterates it — the hot recording loop never leaves NumPy.
+the per-step unique ``(kmer, pos)`` pairs as packed int64 arrays, and the
+accelerator's columnar replay (:meth:`repro.accel.exma_accelerator
+.ExmaAccelerator.run`) consumes those arrays directly — neither the hot
+recording loop nor the replay ever leaves NumPy.
+:class:`~repro.exma.search.OccRequest` objects materialise only when a
+legacy consumer (``to_search_stats``, the object-path reference replay,
+tests) iterates the stream.
 
 For sharded runs, backends additionally record each step's per-unique-
 request accounting *contributions* (:class:`StepContribution`: increment

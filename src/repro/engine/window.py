@@ -15,11 +15,12 @@ The window is **columnar end-to-end**: buffered batches are kept as the
 packed ``kmer * span + pos`` int64 key arrays the engine's
 :class:`~repro.engine.coalesce.RequestStream` already carries, the flush
 dedupe is one vectorized ``np.unique`` over those keys, and the flushed
-:class:`WindowedBatch` holds the merged key array itself.  No
-:class:`~repro.exma.search.OccRequest` objects are materialised on the
-way through — the batch only builds them lazily when a legacy consumer
-(the CAM schedulers, ``to_search_stats``, tests) iterates its
-``requests`` view.
+:class:`WindowedBatch` holds the merged key array itself — which the
+accelerator's columnar replay consumes as-is, through to the cycle
+counts.  No :class:`~repro.exma.search.OccRequest` objects are
+materialised anywhere on that path — the batch only builds them lazily
+when a legacy consumer (the object-path reference replay,
+``to_search_stats``, tests) iterates its ``requests`` view.
 
 Two oracle properties pin the semantics down (``tests/test_window.py``):
 

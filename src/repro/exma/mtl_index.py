@@ -150,6 +150,7 @@ class MTLIndex:
         self._nodes: dict[int, SharedNode] = {}
         self._leaves: dict[int, LeafModel] = {}
         self._bucket_of: dict[int, int] = {}
+        self._leaf_column_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._train()
 
     # ------------------------------------------------------------------ #
@@ -286,6 +287,77 @@ class MTLIndex:
         shared_output = node.forward(features)
         raw = (leaf.weight * shared_output + leaf.bias) * count
         return np.clip(np.rint(raw), 0, max(0, count - 1)).astype(np.int64)
+
+    def predict_many(self, kmers: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict` over aligned k-mer/position arrays.
+
+        Groups the requests by shared node (bucket): one MLP forward pass
+        per bucket covers every request routed through that node, and the
+        per-k-mer linear leaves apply elementwise through gathered
+        weight/bias/count columns — the same normalisation, rounding and
+        clipping as :meth:`predict`, so the results agree exactly.  Every
+        k-mer must be modelled — the columnar replay separates unmodelled
+        requests before calling, the way the accelerator's exact-scan
+        path does.
+        """
+        kmers = np.asarray(kmers, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        result = np.empty(kmers.size, dtype=np.int64)
+        if kmers.size == 0:
+            return result
+        weights, biases, buckets = self._leaf_columns()
+        counts = self._table.frequencies_view()[kmers]
+        n = self._table.reference_length
+        features = np.column_stack([positions / n, counts / n])
+        shared_output = np.empty(kmers.size, dtype=np.float64)
+        request_buckets = buckets[kmers]
+        for bucket in np.unique(request_buckets):
+            in_bucket = request_buckets == bucket
+            shared_output[in_bucket] = self._nodes[int(bucket)].forward(
+                features[in_bucket]
+            )
+        raw = (weights[kmers] * shared_output + biases[kmers]) * counts
+        return np.clip(np.rint(raw), 0, np.maximum(0, counts - 1)).astype(np.int64)
+
+    def _leaf_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Leaf weight/bias and bucket id per packed code (lazy, cached)."""
+        if self._leaf_column_cache is None:
+            size = self._table.kmer_count
+            weights = np.zeros(size, dtype=np.float64)
+            biases = np.zeros(size, dtype=np.float64)
+            buckets = np.full(size, -1, dtype=np.int64)
+            for packed, leaf in self._leaves.items():
+                weights[packed] = leaf.weight
+                biases[packed] = leaf.bias
+            for packed, bucket in self._bucket_of.items():
+                buckets[packed] = bucket
+            self._leaf_column_cache = (weights, biases, buckets)
+        return self._leaf_column_cache
+
+    def modelled_lookup(self, kmer_count: int) -> np.ndarray:
+        """Boolean mask over packed codes: True where a leaf model exists.
+
+        The array form of :meth:`has_model`, sized for the table's
+        ``4^k`` code space so the columnar replay can classify a whole
+        request stream with one gather.  Every modelled k-mer has a
+        bucket assignment, so the mask is the cached bucket column's
+        validity.
+        """
+        if kmer_count != self._table.kmer_count:
+            raise ValueError("kmer_count must match the indexed table")
+        return self._leaf_columns()[2] >= 0
+
+    def bucket_lookup(self, kmer_count: int) -> np.ndarray:
+        """Shared-node (bucket) id per packed code, -1 where unmodelled.
+
+        The array form of the bucket half of :meth:`node_ids_for` (the
+        leaf node id is always ``shared_node_count + packed``), served
+        from the same cached columns :meth:`predict_many` gathers
+        through; callers must not mutate it.
+        """
+        if kmer_count != self._table.kmer_count:
+            raise ValueError("kmer_count must match the indexed table")
+        return self._leaf_columns()[2]
 
     def lookup(self, kmer: str | int, pos: int) -> tuple[int, int]:
         """Exact Occ value plus the linear-search probe distance."""

@@ -94,6 +94,7 @@ class ExmaTable:
         ) = self._build()
         self._count_cache: dict[int, int] = {}
         self._count_table: np.ndarray | None = None
+        self._augmented_increments: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -209,6 +210,10 @@ class ExmaTable:
         packed = self._packed(kmer)
         return int(self._bases[packed])
 
+    def frequency_batch(self, kmers: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`frequency` over an array of packed codes."""
+        return self._counts[np.asarray(kmers, dtype=np.int64)]
+
     def increments_of(self, kmer: str | int) -> np.ndarray:
         """The sorted increment list of *kmer* (possibly empty)."""
         packed = self._packed(kmer)
@@ -224,6 +229,38 @@ class ExmaTable:
             raise ValueError(f"pos {pos} out of range [0, {self._n}]")
         increments = self.increments_of(kmer)
         return int(np.searchsorted(increments, pos, side="left"))
+
+    def occ_batch(self, kmers: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`occ` over aligned k-mer/position arrays.
+
+        One global ``np.searchsorted`` resolves every request at once: the
+        concatenated increment array is augmented (lazily, cached) with
+        ``kmer * (|G| + 2)`` per entry, which makes it globally ascending
+        — increments are already sorted within each k-mer's segment and
+        segments are concatenated in packed order — so the rank of
+        ``kmer * (|G| + 2) + pos`` minus the k-mer's segment offset is
+        exactly ``Occ(kmer, pos)``.  Agrees exactly with per-request
+        :meth:`occ` (pure integer rank queries on the same data).
+        """
+        kmers = np.asarray(kmers, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if kmers.shape != positions.shape:
+            raise ValueError("kmers and positions must have identical shapes")
+        if kmers.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(positions.min()) < 0 or int(positions.max()) > self._n:
+            raise ValueError(f"positions out of range [0, {self._n}]")
+        if int(kmers.min()) < 0 or int(kmers.max()) >= self._bases.size:
+            raise ValueError("packed k-mer out of range")
+        if self._augmented_increments is None:
+            stride = self._n + 2
+            owners = np.repeat(np.arange(self._counts.size, dtype=np.int64), self._counts)
+            self._augmented_increments = self._increments + owners * stride
+        stride = self._n + 2
+        ranks = np.searchsorted(
+            self._augmented_increments, kmers * stride + positions, side="left"
+        )
+        return ranks - self._kmer_rank_base[kmers]
 
     def count(self, kmer: str | int) -> int:
         """Count(kmer): rows whose suffix starts with a smaller prefix.
@@ -314,6 +351,14 @@ class ExmaTable:
     def frequencies(self) -> np.ndarray:
         """Increment counts of all 4^k k-mers (the ``f_i`` of Fig. 8)."""
         return self._counts.copy()
+
+    def frequencies_view(self) -> np.ndarray:
+        """The per-k-mer increment counts without the defensive copy.
+
+        For hot gather paths (:meth:`repro.exma.mtl_index.MTLIndex
+        .predict_many`, the columnar replay); callers must not mutate it.
+        """
+        return self._counts
 
     def present_kmers(self) -> list[int]:
         """Packed codes of k-mers that occur at least once."""

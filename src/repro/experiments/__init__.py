@@ -1,5 +1,13 @@
 """Experiment harnesses: one entry point per table/figure of the paper."""
 
+from .accel_replay import (
+    AccelReplayResult,
+    AccelReplayRow,
+    accel_replay_report,
+    format_accel_replay,
+    run_accel_replay,
+    write_accel_replay_json,
+)
 from .common import Workload, build_workload, sample_queries
 from .fig01_breakdown import BreakdownRow, format_fig1, run_fig1
 from .fig06_prior import Fig6Result, run_fig6
@@ -51,6 +59,12 @@ from .tables import (
 )
 
 __all__ = [
+    "AccelReplayResult",
+    "AccelReplayRow",
+    "accel_replay_report",
+    "format_accel_replay",
+    "run_accel_replay",
+    "write_accel_replay_json",
     "Workload",
     "build_workload",
     "sample_queries",

@@ -1,0 +1,241 @@
+"""accel-replay — object vs columnar accelerator replay wall-clock.
+
+PR 5's perf claim, measured: the columnar replay
+(:meth:`repro.accel.exma_accelerator.ExmaAccelerator.run` on the engine's
+packed request stream) against the request-at-a-time object reference
+(:meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_reference`), on
+
+* the **Fig. 18 workload** — scaled caches/CAM, the same config every
+  Fig. 18/20/22 experiment replays through — where the recorded
+  ``BENCH_accel_replay.json`` targets a ≥10× replay speedup, and
+* a **megabase-scale row** — Table-I config over a 1 Mbp reference —
+  the workload size the per-request Python loop kept out of reach for
+  routine sweeps.
+
+Every timed pair is also checked for field-for-field equality, so the
+record doubles as an end-to-end divergence gate
+(``scripts/check_accel_replay.py``, wired into the CI bench-smoke leg).
+Reproduce the committed record with::
+
+    repro-exma experiment accel-replay --genome-length 60000 \
+        --batch-size 2000 --megabase-length 1000000 \
+        --json BENCH_accel_replay.json
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..accel.config import ExmaAcceleratorConfig, exma_full_config
+from ..accel.exma_accelerator import ExmaAccelerator
+from ..engine.backends import ExmaBackend
+from ..engine.engine import QueryEngine
+from ..exma.mtl_index import MTLIndex
+from ..exma.table import ExmaTable
+from ..genome.datasets import build_dataset
+from .common import DEFAULT_STEP, sample_queries
+from .fig18_throughput import _scaled_config
+
+__all__ = [
+    "AccelReplayResult",
+    "AccelReplayRow",
+    "accel_replay_report",
+    "format_accel_replay",
+    "run_accel_replay",
+    "write_accel_replay_json",
+]
+
+
+@dataclass(frozen=True)
+class AccelReplayRow:
+    """One workload: both replay paths timed over the same stream."""
+
+    label: str
+    genome_length: int
+    queries: int
+    requests: int
+    dram_requests: int
+    total_cycles: int
+    #: Best-of-``repeats`` wall-clock of the columnar replay.
+    columnar_seconds: float
+    #: Best-of-``repeats`` wall-clock of the object reference replay.
+    object_seconds: float
+    #: Whether both paths returned field-for-field equal results.
+    results_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        """Object-to-columnar wall-clock ratio (> 1 means columnar wins)."""
+        return self.object_seconds / max(self.columnar_seconds, 1e-12)
+
+
+@dataclass(frozen=True)
+class AccelReplayResult:
+    """The measured rows plus the workload shape that produced them."""
+
+    rows: list[AccelReplayRow]
+    k: int
+    query_length: int
+    seed: int
+    repeats: int
+
+
+def _measure(
+    label: str,
+    genome_length: int,
+    query_count: int,
+    query_length: int,
+    k: int,
+    seed: int,
+    repeats: int,
+    config: ExmaAcceleratorConfig,
+    mtl_epochs: int,
+) -> AccelReplayRow:
+    """Build one workload's request stream and time both replay paths."""
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    table = ExmaTable(reference.sequence, k=k)
+    index = MTLIndex(
+        table, model_threshold=16, samples_per_kmer=64, epochs=mtl_epochs, seed=seed
+    )
+    engine = QueryEngine(ExmaBackend(table=table, index=index))
+    queries = sample_queries(
+        reference.sequence, count=query_count, length=query_length, seed=seed
+    )
+    stream, _stats = engine.request_stream(queries)
+    accelerator = ExmaAccelerator(table, index, config)
+
+    materialised = list(stream)
+    columnar_seconds = object_seconds = float("inf")
+    columnar_result = object_result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        columnar_result = accelerator.run(stream)
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        object_result = accelerator.run_reference(materialised)
+        object_seconds = min(object_seconds, time.perf_counter() - start)
+
+    return AccelReplayRow(
+        label=label,
+        genome_length=genome_length,
+        queries=query_count,
+        requests=len(stream),
+        dram_requests=columnar_result.dram_requests,
+        total_cycles=columnar_result.total_cycles,
+        columnar_seconds=columnar_seconds,
+        object_seconds=object_seconds,
+        results_equal=columnar_result == object_result,
+    )
+
+
+def run_accel_replay(
+    genome_length: int = 60_000,
+    seed: int = 0,
+    query_count: int = 2000,
+    query_length: int = 48,
+    k: int = DEFAULT_STEP,
+    repeats: int = 3,
+    #: 0 disables the megabase row (the CI smoke runs at toy scale).
+    megabase_length: int = 0,
+    megabase_query_count: int = 20_000,
+    mtl_epochs: int = 60,
+) -> AccelReplayResult:
+    """Time object vs columnar replay on the benchmark workloads.
+
+    The ``fig18`` row replays the scaled-cache configuration every
+    Fig. 18/20/22 experiment uses; the optional ``megabase`` row replays
+    the Table-I configuration over a *megabase_length* reference.  Both
+    rows verify exact result equality while they time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rows = [
+        _measure(
+            "fig18",
+            genome_length,
+            query_count,
+            query_length,
+            k,
+            seed,
+            repeats,
+            _scaled_config(exma_full_config()),
+            mtl_epochs,
+        )
+    ]
+    if megabase_length:
+        rows.append(
+            _measure(
+                "megabase",
+                megabase_length,
+                megabase_query_count,
+                query_length,
+                k,
+                seed,
+                repeats,
+                exma_full_config(),
+                mtl_epochs,
+            )
+        )
+    return AccelReplayResult(
+        rows=rows, k=k, query_length=query_length, seed=seed, repeats=repeats
+    )
+
+
+def format_accel_replay(result: AccelReplayResult) -> str:
+    """Render the replay comparison table."""
+    lines = [
+        f"accel-replay - object vs columnar accelerator replay (k={result.k}, "
+        f"best of {result.repeats})"
+    ]
+    lines.append(
+        f"{'row':>9s} {'genome':>10s} {'queries':>8s} {'requests':>9s} "
+        f"{'object s':>9s} {'columnar s':>11s} {'speedup':>8s} {'equal':>6s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.label:>9s} {row.genome_length:10,d} {row.queries:8d} "
+            f"{row.requests:9d} {row.object_seconds:9.3f} "
+            f"{row.columnar_seconds:11.4f} {row.speedup:7.1f}x "
+            f"{'yes' if row.results_equal else 'NO':>6s}"
+        )
+    return "\n".join(lines)
+
+
+def accel_replay_report(result: AccelReplayResult, **workload) -> dict:
+    """The comparison as a JSON-ready record (``BENCH_accel_replay.json``)."""
+    return {
+        "benchmark": "accel_replay",
+        "workload": {
+            "k": result.k,
+            "query_length": result.query_length,
+            "seed": result.seed,
+            "repeats": result.repeats,
+            **dict(workload),
+        },
+        "rows": [
+            {
+                "label": row.label,
+                "genome_length": row.genome_length,
+                "queries": row.queries,
+                "requests": row.requests,
+                "dram_requests": row.dram_requests,
+                "total_cycles": row.total_cycles,
+                "object_seconds": row.object_seconds,
+                "columnar_seconds": row.columnar_seconds,
+                "speedup": round(row.speedup, 2),
+                "results_equal": row.results_equal,
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def write_accel_replay_json(path: str, result: AccelReplayResult, **workload) -> dict:
+    """Write :func:`accel_replay_report` to *path*; returns the record."""
+    report = accel_replay_report(result, **workload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report

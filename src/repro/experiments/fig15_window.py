@@ -28,11 +28,9 @@ from dataclasses import dataclass
 
 from ..engine.backends import ExmaBackend
 from ..engine.engine import QueryEngine
-from ..engine.window import windowed_request_stream
+from ..engine.window import CoalescingWindow
 from ..exma.table import ExmaTable
 from ..genome.datasets import build_dataset
-from ..hw.cam import CamConfig
-from ..hw.scheduler import TwoStageScheduler
 from .common import DEFAULT_STEP, sample_queries
 
 __all__ = [
@@ -129,17 +127,19 @@ def run_fig15_window(
     pre_merge = sum(len(stream) for stream in streams)
     rows = []
     for window in windows:
-        merged, flushes = windowed_request_stream(streams, capacity=window)
-        scheduler = TwoStageScheduler(CamConfig(entries=cam_entries))
-        # The flushes already carry the post-merge stream; schedule those
-        # instead of re-deriving the window merge a second time.
-        scheduled = sum(1 for _ in scheduler.schedule(merged))
+        flushes = list(CoalescingWindow(window).stream(streams))
+        post_merge = sum(flushed.unique for flushed in flushes)
+        # Scheduling the merged stream through a cam_entries-deep CAM
+        # issues consecutive full batches (the queue refills completely
+        # between drains), so the batch count is a ceiling division — no
+        # need to materialise request objects just to count batches.
+        scheduled = -(-post_merge // cam_entries) if post_merge else 0
         rows.append(
             Fig15Row(
                 window=window,
                 windows_flushed=len(flushes),
                 pre_merge_requests=pre_merge,
-                post_merge_requests=len(merged),
+                post_merge_requests=post_merge,
                 scheduled_batches=scheduled,
             )
         )

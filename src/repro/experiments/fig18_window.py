@@ -17,8 +17,9 @@ bench-smoke job via the recorded ``BENCH_window_capacity.json``):
 * the **W=1 row matches the unwindowed path exactly** — every flush's
   :class:`~repro.accel.exma_accelerator.AcceleratorRunResult` is
   byte-identical to :meth:`~repro.accel.exma_accelerator.ExmaAccelerator
-  .run` on that batch's per-batch-coalesced request list (the legacy
-  object path), so the columnar stream plumbing cannot drift;
+  .run_reference` on that batch's per-batch-coalesced request list (the
+  request-at-a-time object pipeline), so the columnar replay cannot
+  drift;
 * the **scheduled request count is monotone non-increasing in W** over
   the aligned power-of-two capacities, because every 2W-window merges at
   least as many duplicates as its two aligned W-windows — and cycles
@@ -137,9 +138,10 @@ def run_fig18_window(
     :class:`~repro.engine.coalesce.RequestStream` per consecutive query
     batch) and replayed at every capacity, so the sweep isolates the
     window stage.  The unwindowed anchor replays each batch's per-batch
-    coalesced request *list* through :meth:`ExmaAccelerator.run` — the
-    legacy object path — and the W=1 row is required to match it flush by
-    flush.
+    coalesced request *list* through :meth:`ExmaAccelerator.run_reference`
+    — the request-at-a-time object path — and the W=1 row is required to
+    match it flush by flush, so the sweep doubles as an object-vs-columnar
+    equivalence gate.
     """
     reference = build_dataset("human", simulated_length=genome_length, seed=seed)
     table = ExmaTable(reference.sequence, k=k)
@@ -162,16 +164,17 @@ def run_fig18_window(
     accelerator = ExmaAccelerator(table, index, _scaled_config(exma_full_config()))
 
     # The per-batch anchor: W=1 flushes are per-batch coalescing exactly,
-    # so running each flush's materialised request list through the plain
-    # entry point IS the unwindowed path — computed through the object
-    # path on purpose, so columnar-vs-object divergence cannot hide.
+    # so running each flush's materialised request list through
+    # ``run_reference`` IS the unwindowed path — computed through the
+    # request-at-a-time object pipeline on purpose, so columnar-vs-object
+    # divergence cannot hide.
     anchor_flushes = list(CoalescingWindow(1).stream(streams))
     anchor_runs: list[AcceleratorRunResult] = [
-        accelerator.run(
+        accelerator.run_reference(
             list(flushed.requests),
-            # The same issued-based accounting run_stream applies, through
-            # the same method, so the anchor can only diverge on the
-            # replay path — the thing the comparison is meant to catch.
+            # The same issued-based accounting run_stream applies, so the
+            # anchor can only diverge on the replay path — the thing the
+            # comparison is meant to catch.
             bases_processed=accelerator._bases_processed(flushed.issued),
         )
         for flushed in anchor_flushes

@@ -18,6 +18,7 @@ import numpy as np
 from ..accel.baselines import asic_model, exma_analytic_model, gpu_model, medal_model
 from ..accel.config import exma_full_config
 from ..accel.exma_accelerator import ExmaAccelerator
+from ..engine.coalesce import RequestStream
 from ..exma import bdi, chain
 from ..exma.table import ExmaTable, exma_size_breakdown
 from ..genome.datasets import DATASETS, build_dataset
@@ -56,7 +57,10 @@ class DsePoint:
 def run_fig22(genome_length: int = 60_000, seed: int = 0) -> list[DsePoint]:
     """Sweep DIMM count, PE arrays, CAM entries and base-cache capacity."""
     workload = build_workload("human", genome_length=genome_length, seed=seed)
-    requests = list(workload.requests)
+    # Pack the workload's request tuple into columns once; every sweep
+    # point replays the same stream, so the objects are never re-walked.
+    requests = RequestStream()
+    requests.extend(workload.requests)
 
     def run_with(**overrides) -> float:
         settings = {

@@ -1,6 +1,6 @@
 """Hardware substrate: DRAM, caches, CAM, schedulers, PE arrays, energy."""
 
-from .cache import CacheStats, SetAssociativeCache
+from .cache import CacheStats, SetAssociativeCache, simulate_lru_hits
 from .cam import CamConfig, SchedulingQueue
 from .dram import (
     BURST_BYTES,
@@ -9,6 +9,7 @@ from .dram import (
     DRAMModel,
     DRAMStats,
     MemoryRequest,
+    MemoryTrace,
     PagePolicy,
     rows_for_bytes,
 )
@@ -27,12 +28,15 @@ from .scheduler import (
     FrFcfsScheduler,
     ScheduledBatch,
     TwoStageScheduler,
+    keep_open_flags,
     pair_requests_by_kmer,
+    scheduled_orders,
 )
 
 __all__ = [
     "CacheStats",
     "SetAssociativeCache",
+    "simulate_lru_hits",
     "CamConfig",
     "SchedulingQueue",
     "BURST_BYTES",
@@ -41,6 +45,7 @@ __all__ = [
     "DRAMModel",
     "DRAMStats",
     "MemoryRequest",
+    "MemoryTrace",
     "PagePolicy",
     "rows_for_bytes",
     "CPU_POWER_W",
@@ -57,5 +62,7 @@ __all__ = [
     "FrFcfsScheduler",
     "ScheduledBatch",
     "TwoStageScheduler",
+    "keep_open_flags",
     "pair_requests_by_kmer",
+    "scheduled_orders",
 ]

@@ -59,14 +59,22 @@ class EnergyLedger:
         self.op_counts[component] = self.op_counts.get(component, 0) + count
 
     def dynamic_energy_j(self) -> float:
-        """Dynamic energy implied by the recorded operation counts."""
-        by_name = {spec.name: spec for spec in EXMA_COMPONENTS}
-        total_pj = 0.0
-        for component, count in self.op_counts.items():
-            spec = by_name.get(component)
-            if spec is None:
+        """Dynamic energy implied by the recorded operation counts.
+
+        Summed in Table-I component order (not dict insertion order), so
+        two ledgers with equal counts produce the bit-identical float no
+        matter which component a replay happened to record first — the
+        columnar and object replays must agree exactly.
+        """
+        known = {spec.name for spec in EXMA_COMPONENTS}
+        for component in self.op_counts:
+            if component not in known:
                 raise KeyError(f"unknown component {component!r}")
-            total_pj += count * spec.energy_per_op_pj
+        total_pj = 0.0
+        for spec in EXMA_COMPONENTS:
+            count = self.op_counts.get(spec.name)
+            if count:
+                total_pj += count * spec.energy_per_op_pj
         return total_pj * 1e-12
 
     def leakage_energy_j(self, seconds: float) -> float:

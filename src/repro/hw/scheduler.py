@@ -13,12 +13,20 @@ CAM:
 Both schedulers operate on batches bounded by the CAM capacity: requests
 that do not fit are scheduled in a later batch, which is what limits the
 256-entry CAM configuration in Fig. 22.
+
+The object classes replay the CAM one :class:`~repro.exma.search
+.OccRequest` at a time and remain the oracle reference; the columnar
+replay uses :func:`scheduled_orders` / :func:`keep_open_flags`, which
+compute the identical stage-1/stage-2 orders and page-policy hints for a
+whole packed request stream with a handful of ``np.lexsort`` calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Protocol, Sequence
+
+import numpy as np
 
 from ..engine.window import CoalescingWindow
 from ..exma.search import OccRequest
@@ -108,17 +116,17 @@ def schedule_windowed(
 ) -> Iterator[ScheduledBatch]:
     """Schedule consecutive batch streams through a coalescing window.
 
-    The engine emits one request stream per query batch — typically the
-    columnar :class:`~repro.engine.coalesce.RequestStream`, which the
-    window merges array-side; the flushed
-    :class:`~repro.engine.window.WindowedBatch` stays columnar too, and
-    request objects materialise only here, at the CAM boundary, as the
+    The object-path twin of the windowed replay, kept for the test suite
+    and exploratory use: the window merges the streams array-side, and
+    request objects materialise here, at the CAM boundary, as the
     schedulers iterate each flush's lazy ``requests`` view.  Each unique
     ``(k-mer, pos)`` pair of a window is scheduled exactly once (the
     Fig. 15 sweep knob).  *window* may be a capacity or a prebuilt window
-    instance.  For the full pipeline with per-flush cycle/energy
-    accounting, see :meth:`repro.accel.exma_accelerator.ExmaAccelerator
-    .run_stream`.
+    instance.  The production pipeline never takes this path — the
+    accelerator's columnar replay orders each flush's packed arrays with
+    :func:`scheduled_orders`; for the full pipeline with per-flush
+    cycle/energy accounting, see :meth:`repro.accel.exma_accelerator
+    .ExmaAccelerator.run_stream`.
     """
     if isinstance(window, int):
         window = CoalescingWindow(window)
@@ -128,6 +136,62 @@ def schedule_windowed(
             yield from flushed.requests
 
     yield from scheduler.schedule(merged())
+
+
+def scheduled_orders(
+    kmers: np.ndarray,
+    positions: np.ndarray,
+    cam_entries: int,
+    two_stage: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stage-1/stage-2 issue orders of a whole packed request stream.
+
+    The columnar equivalent of running :class:`FrFcfsScheduler` /
+    :class:`TwoStageScheduler` over the stream and concatenating every
+    batch's ``stage1``/``stage2`` tuples: returns two index arrays into
+    *kmers*/*positions* whose consecutive ``cam_entries``-sized slices are
+    the CAM batches in issue order.  The 2-stage orders reproduce the
+    sorting CAM exactly — stage 1 is the stable per-batch k-mer sort of
+    the arrival order, stage 2 the stable per-batch pos sort of the
+    stage-1 order — because :meth:`~repro.hw.cam.SchedulingQueue
+    .sort_by_pos` reorders the already k-mer-sorted residents.
+    """
+    if cam_entries <= 0:
+        raise ValueError("cam_entries must be positive")
+    count = int(np.asarray(kmers).size)
+    arrival = np.arange(count, dtype=np.int64)
+    if not two_stage or count == 0:
+        return arrival, arrival
+    batch_of = arrival // cam_entries
+    stage1 = np.lexsort((arrival, kmers, batch_of))
+    stage1_rank = np.empty(count, dtype=np.int64)
+    stage1_rank[stage1] = arrival
+    stage2 = np.lexsort((stage1_rank, positions, batch_of))
+    return stage1, stage2
+
+
+def keep_open_flags(stage2_kmers: np.ndarray, cam_entries: int) -> np.ndarray:
+    """Keep-row-open hints for a stream already in stage-2 issue order.
+
+    The columnar equivalent of :func:`pair_requests_by_kmer` applied to
+    every CAM batch: slot *i*'s hint is True when a later slot of the
+    same batch targets the same k-mer.
+    """
+    if cam_entries <= 0:
+        raise ValueError("cam_entries must be positive")
+    stage2_kmers = np.asarray(stage2_kmers)
+    count = stage2_kmers.size
+    keep = np.zeros(count, dtype=bool)
+    if count == 0:
+        return keep
+    slots = np.arange(count, dtype=np.int64)
+    grouped = np.lexsort((slots, stage2_kmers, slots // cam_entries))
+    followed = np.zeros(count, dtype=bool)
+    followed[:-1] = (stage2_kmers[grouped[1:]] == stage2_kmers[grouped[:-1]]) & (
+        grouped[1:] // cam_entries == grouped[:-1] // cam_entries
+    )
+    keep[grouped] = followed
+    return keep
 
 
 def pair_requests_by_kmer(batch: tuple[OccRequest, ...]) -> list[tuple[OccRequest, bool]]:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Gate on a recorded serving benchmark (``BENCH_serving.json``).
+
+Asserts the invariants the always-on serving layer must keep under
+open-loop load, mirroring ``check_window_capacity.py`` /
+``check_accel_replay.py`` for the serving trajectory:
+
+* both recorded arrival processes (``poisson`` and ``bursty``) are
+  present and each accepted at least one query;
+* every accepted query completed — the service must not wedge or drop
+  admitted work;
+* the tail is real: p50/p99/max latency are finite and positive (an
+  empty latency list records ``NaN``, which fails here by design);
+* sustained throughput stays above a floor (Mbase/s over wall clock; the
+  optional second argument overrides the toy-scale default);
+* backpressure accounting is coherent: rejections never exceed offered
+  load, and any rejection carries a positive ``retry_after`` hint.
+
+Exit codes: 0 when the invariants hold, 1 on a violation, 2 on
+malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+#: Toy-scale sustained-throughput floor in Mbase/s.  The CI smoke run
+#: serves a few hundred queries per second on a shared runner; anything
+#: below this means the service effectively stalled.
+DEFAULT_MIN_MBASE_PER_SECOND = 0.001
+
+#: Arrival processes every record must carry.
+REQUIRED_ARRIVALS = ("poisson", "bursty")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(f"usage: {argv[0]} BENCH_serving.json [min_mbase_per_second]", file=sys.stderr)
+        return 2
+    floor = float(argv[2]) if len(argv) == 3 else DEFAULT_MIN_MBASE_PER_SECOND
+    with open(argv[1], encoding="utf-8") as handle:
+        report = json.load(handle)
+    rows = {row.get("arrival"): row for row in report.get("rows", [])}
+    if not rows:
+        print("no serving rows recorded", file=sys.stderr)
+        return 2
+
+    for arrival, row in rows.items():
+        print(
+            f"{arrival:>8s}  accepted={row.get('accepted', 0):>6d}  "
+            f"rejected={row.get('rejected', 0):>5d}  "
+            f"sustained={row.get('mbase_per_second', float('nan')):8.4f} Mbase/s  "
+            f"p50={row.get('p50_ms', float('nan')):7.2f} ms  "
+            f"p99={row.get('p99_ms', float('nan')):7.2f} ms"
+        )
+
+    failures = []
+    for arrival in REQUIRED_ARRIVALS:
+        if arrival not in rows:
+            failures.append(f"missing required arrival process {arrival!r}")
+    for arrival, row in rows.items():
+        if row.get("accepted", 0) <= 0:
+            failures.append(f"{arrival}: no queries accepted")
+            continue
+        if row.get("completed", 0) != row.get("accepted", 0):
+            failures.append(
+                f"{arrival}: completed {row.get('completed')} != accepted "
+                f"{row.get('accepted')} (service dropped admitted work)"
+            )
+        for key in ("p50_ms", "p99_ms", "max_ms"):
+            value = row.get(key)
+            if value is None or not math.isfinite(value) or value <= 0:
+                failures.append(f"{arrival}: {key}={value!r} is not finite and positive")
+        sustained = row.get("mbase_per_second")
+        if sustained is None or not math.isfinite(sustained) or sustained < floor:
+            failures.append(
+                f"{arrival}: sustained throughput {sustained!r} Mbase/s below the "
+                f"{floor} floor"
+            )
+        if row.get("rejected", 0) > row.get("submitted", 0):
+            failures.append(
+                f"{arrival}: rejected {row.get('rejected')} exceeds submitted "
+                f"{row.get('submitted')}"
+            )
+        if row.get("rejected", 0) > 0 and row.get("mean_retry_after_s", 0.0) <= 0:
+            failures.append(
+                f"{arrival}: rejections recorded without a positive retry_after hint"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: serving sustained the load with finite tails and coherent backpressure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -777,14 +777,32 @@ class ExmaAccelerator:
             if isinstance(flushed, WindowedBatch):
                 batches += flushed.batches
                 issued += flushed.issued
-                bases = self._bases_processed(flushed.issued)
-                flushes.append(self.run(flushed, name=name, bases_processed=bases))
+                flushes.append(self.replay_flush(flushed, name=name))
             else:
                 batches += 1
                 issued += len(flushed)
                 flushes.append(self.run(flushed, name=name))
         return WindowedRunResult(
             name=name, flushes=flushes, capacity=None, batches=batches, issued=issued
+        )
+
+    def replay_flush(
+        self, flushed: "WindowedBatch", name: str = "EXMA"
+    ) -> AcceleratorRunResult:
+        """Replay one flushed window as an independent scheduling epoch.
+
+        The single unit of work shared by :meth:`run_stream` and the
+        always-on serving layer (:mod:`repro.serving`): the flush's merged
+        key array feeds :meth:`run` columnar with fresh queue/cache/DRAM
+        state, and bases are accounted from the flush's *issued*
+        (pre-window-merge) request count so throughput stays comparable
+        across window capacities.  Because both consumers call exactly
+        this, a served stream's per-flush results are field-for-field
+        identical to the offline :meth:`run_windowed` path over the same
+        batch streams.
+        """
+        return self.run(
+            flushed, name=name, bases_processed=self._bases_processed(flushed.issued)
         )
 
     def run_windowed(

@@ -1,11 +1,16 @@
 """Command-line interface for the EXMA reproduction.
 
-Three subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 * ``repro-exma search``    — build an EXMA table over a FASTA reference (or
   a synthetic one) and run exact-match queries against it;
 * ``repro-exma experiment``— run one of the per-figure experiment harnesses
   and print the paper-style output;
+* ``repro-exma serve``     — run the always-on serving layer over stdin
+  queries (one per line, optionally ``tenant<TAB>query``), with dynamic
+  batching and per-flush accelerator replay;
+* ``repro-exma serving-bench`` — measure the serving layer under open-loop
+  Poisson/bursty load and record ``BENCH_serving.json``;
 * ``repro-exma info``      — print the paper-scale size models for a chosen
   genome length and step number.
 
@@ -13,6 +18,8 @@ Example::
 
     repro-exma search --genome-length 50000 --queries ACGTACGTACGT TTGACCA
     repro-exma experiment fig18 --genome-length 30000
+    printf 'ACGTACGT\\nTTGACCAG\\n' | repro-exma serve --genome-length 20000
+    repro-exma serving-bench --rate 500 --duration 1 --json BENCH_serving.json
     repro-exma info --genome-length 3000000000 --step 15
 """
 
@@ -133,10 +140,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sharding_flags(experiment)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve stdin queries through the always-on dynamic-batching layer",
+    )
+    serve.add_argument("--reference", help="FASTA file with the reference (first record used)")
+    serve.add_argument(
+        "--genome-length", type=int, default=50_000, help="synthetic genome length when no FASTA"
+    )
+    serve.add_argument("--step", type=int, default=6, help="EXMA step number k")
+    serve.add_argument("--seed", type=int, default=0, help="synthetic genome seed")
+    serve.add_argument(
+        "--no-accel",
+        action="store_true",
+        help="skip the per-flush accelerator replay (search-only service)",
+    )
+    _add_serving_flags(serve)
+    _add_sharding_flags(serve)
+
+    bench = subparsers.add_parser(
+        "serving-bench",
+        help="measure the serving layer under open-loop Poisson/bursty load",
+    )
+    bench.add_argument("--genome-length", type=int, default=20_000)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--step", type=int, default=6, help="EXMA step number k")
+    bench.add_argument(
+        "--rate", type=float, default=500.0, help="mean client arrivals per second"
+    )
+    bench.add_argument(
+        "--duration", type=float, default=1.0, help="offered-load horizon in seconds"
+    )
+    bench.add_argument("--tenants", type=int, default=4, help="round-robin client tenants")
+    bench.add_argument(
+        "--queries-per-arrival", type=int, default=4, help="queries each arrival submits"
+    )
+    bench.add_argument("--query-length", type=int, default=28)
+    bench.add_argument(
+        "--pool-size", type=int, default=512, help="distinct queries in the Zipf pool"
+    )
+    bench.add_argument(
+        "--zipf-s", type=float, default=1.1, help="Zipf skew exponent of the query pool"
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the serving record to PATH as JSON",
+    )
+    _add_serving_flags(bench)
+
     info = subparsers.add_parser("info", help="print paper-scale size models")
     info.add_argument("--genome-length", type=int, default=3_000_000_000)
     info.add_argument("--step", type=int, default=15)
     return parser
+
+
+def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
+    """The dynamic-batching knobs shared by serve and serving-bench."""
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="most queries per dynamic batch"
+    )
+    parser.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.005,
+        help="admission window in seconds (longest a query waits for a batch)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4096,
+        help="bounded admission queue; submits beyond it are rejected",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=2,
+        help="coalescing window W (dynamic batches merged per flush replay)",
+    )
 
 
 def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
@@ -316,6 +398,91 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve stdin queries (one per line, optionally ``tenant<TAB>query``)."""
+    from .accel.config import exma_full_config
+    from .accel.exma_accelerator import ExmaAccelerator
+    from .engine.backends import ExmaBackend
+    from .experiments.fig18_throughput import _scaled_config
+    from .exma.table import ExmaTable
+    from .serving import QueryService, ServingConfig
+
+    reference = _load_reference(args)
+    table = ExmaTable(reference, k=args.step)
+    engine = QueryEngine(
+        ExmaBackend(table=table), shards=args.shards, executor=args.executor
+    )
+    accelerator = None
+    if not args.no_accel:
+        accelerator = ExmaAccelerator(table, None, _scaled_config(exma_full_config()))
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        queue_capacity=args.queue_capacity,
+        window=args.window,
+    )
+    print(
+        f"serving: reference {len(reference):,} bp, k={args.step}, "
+        f"batch<={config.max_batch} @ {config.max_delay * 1e3:.1f} ms, "
+        f"W={config.window}, queue<={config.queue_capacity}"
+        + ("" if accelerator else ", search-only")
+    )
+    submissions = []
+    with QueryService(engine, accelerator, config) as service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            tenant, _, query = line.rpartition("\t")
+            tenant = tenant or "default"
+            submissions.append(service.submit([query], tenant=tenant))
+        service.stop()
+        for ticket in submissions:
+            for outcome in ticket.result(timeout=60.0):
+                print(
+                    f"  {outcome.query}: {outcome.interval.count} occurrence(s)  "
+                    f"[tenant {outcome.tenant}, batch {outcome.batch_index}, "
+                    f"flush {outcome.flush_index}, {outcome.latency * 1e3:.2f} ms]"
+                )
+        stats = service.stats
+    print(
+        f"served {stats.completed} queries in {stats.batches} dynamic batch(es), "
+        f"{stats.flushes} flush replay(s); p50 "
+        f"{stats.latency_percentile(50) * 1e3:.2f} ms, p99 "
+        f"{stats.latency_percentile(99) * 1e3:.2f} ms"
+    )
+    return 0
+
+
+def _run_serving_bench(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    result = ex.run_serving_bench(
+        genome_length=args.genome_length,
+        seed=args.seed,
+        rate=args.rate,
+        duration=args.duration,
+        tenants=args.tenants,
+        queries_per_arrival=args.queries_per_arrival,
+        query_length=args.query_length,
+        pool_size=args.pool_size,
+        zipf_s=args.zipf_s,
+        k=args.step,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        window=args.window,
+        queue_capacity=args.queue_capacity,
+    )
+    print(ex.format_serving(result))
+    if args.json:
+        ex.write_serving_json(args.json, result)
+        print(f"wrote {args.json}")
+    if any(row.completed < row.accepted for row in result.rows):
+        print("ERROR: accepted queries did not all complete")
+        return 1
+    return 0
+
+
 def _run_info(args: argparse.Namespace) -> int:
     length = args.genome_length
     step = args.step
@@ -339,6 +506,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_search(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "serving-bench":
+        return _run_serving_bench(args)
     if args.command == "info":
         return _run_info(args)
     return 1  # pragma: no cover - argparse enforces the choices

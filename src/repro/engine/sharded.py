@@ -41,6 +41,7 @@ parallel results against the serial baseline.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
@@ -97,18 +98,71 @@ EXECUTOR_ENV = "REPRO_DEFAULT_EXECUTOR"
 OVERSUBSCRIBE_ENV = "REPRO_SHARD_OVERSUBSCRIBE"
 
 
+#: Environment values already warned about, so a malformed toggle nags
+#: exactly once per process, not once per engine construction.  (A
+#: long-lived serving process builds engines continuously; spamming one
+#: warning per batch would drown the log.)
+_WARNED_ENV_VALUES: set[tuple[str, str]] = set()
+
+
+def _warn_env_once(variable: str, value: str, message: str) -> None:
+    """Emit *message* as a RuntimeWarning once per (variable, value)."""
+    key = (variable, value)
+    if key not in _WARNED_ENV_VALUES:
+        _WARNED_ENV_VALUES.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def default_shards() -> int:
-    """Shard count engines use when not pinned (``REPRO_DEFAULT_SHARDS``)."""
-    try:
-        return max(1, int(os.environ.get(SHARDS_ENV, "1")))
-    except ValueError:
+    """Shard count engines use when not pinned (``REPRO_DEFAULT_SHARDS``).
+
+    Parsed defensively: a malformed value (non-integer, zero or negative)
+    must never crash engine construction deep inside a long-lived service
+    — it warns once and falls back to serial instead.
+    """
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None or not raw.strip():
         return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        _warn_env_once(
+            SHARDS_ENV,
+            raw,
+            f"ignoring malformed {SHARDS_ENV}={raw!r} (expected a positive "
+            "integer); running serial",
+        )
+        return 1
+    if shards < 1:
+        _warn_env_once(
+            SHARDS_ENV,
+            raw,
+            f"ignoring non-positive {SHARDS_ENV}={raw!r}; running serial",
+        )
+        return 1
+    return shards
 
 
 def default_executor() -> str:
-    """Executor engines use when not pinned (``REPRO_DEFAULT_EXECUTOR``)."""
-    executor = os.environ.get(EXECUTOR_ENV, "thread")
-    return executor if executor in EXECUTORS else "thread"
+    """Executor engines use when not pinned (``REPRO_DEFAULT_EXECUTOR``).
+
+    Unknown values are rejected here, with a once-per-process warning
+    naming the valid choices, and fall back to ``"thread"`` — instead of
+    silently misconfiguring the pool or failing later inside it.
+    """
+    raw = os.environ.get(EXECUTOR_ENV)
+    if raw is None or not raw.strip():
+        return "thread"
+    executor = raw.strip().lower()
+    if executor not in EXECUTORS:
+        _warn_env_once(
+            EXECUTOR_ENV,
+            raw,
+            f"ignoring unknown {EXECUTOR_ENV}={raw!r} (available: "
+            f"{', '.join(EXECUTORS)}); using the thread executor",
+        )
+        return "thread"
+    return executor
 
 
 def available_parallelism() -> int:

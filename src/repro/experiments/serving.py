@@ -1,0 +1,303 @@
+"""Serving benchmark — sustained throughput *and* tail latency under
+open-loop load.
+
+The batch-harness figures measure how fast the accelerator model chews
+through a pre-materialised stream; a serving system is judged on what it
+*sustains* while clients keep arriving: throughput, p50/p99 latency and
+backpressure behaviour, reported together the way the SPEChpc benchmarking
+papers record sustained rates next to their scaling trajectories.  This
+harness drives a :class:`~repro.serving.service.QueryService` with the
+open-loop generator (:mod:`repro.serving.loadgen`) under both a Poisson
+and a bursty arrival process, Zipf-skewed queries from a shared pool,
+multi-tenant round-robin offering — and records one row per arrival
+process into ``BENCH_serving.json`` (gated at toy scale by
+``scripts/check_serving.py`` in the CI bench-smoke leg):
+
+* **sustained Mbase/s** — bases processed by the flush replays divided by
+  the *wall-clock* span of the run (arrival of the first query to
+  completion of the last), i.e. what a client population actually
+  experienced, not what the model could have done in isolation;
+* **p50/p95/p99/max latency** — arrival → flush-replay completion per
+  query, nearest-rank percentiles;
+* **admission accounting** — accepted/rejected counts and the mean
+  ``retry_after`` hint handed to bounced clients.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..accel.config import exma_full_config
+from ..accel.exma_accelerator import ExmaAccelerator
+from ..engine.backends import ExmaBackend
+from ..engine.engine import QueryEngine
+from ..exma.table import ExmaTable
+from ..genome.datasets import build_dataset
+from ..serving import (
+    QueryService,
+    ServingConfig,
+    bursty_schedule,
+    make_schedule,
+    poisson_schedule,
+    run_open_loop,
+    sample_query_pool,
+)
+from .common import DEFAULT_STEP
+from .fig18_throughput import _scaled_config
+
+__all__ = [
+    "ServingBenchResult",
+    "ServingBenchRow",
+    "format_serving",
+    "run_serving_bench",
+    "serving_report",
+    "write_serving_json",
+]
+
+#: Arrival processes the benchmark sweeps, in recording order.
+ARRIVALS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class ServingBenchRow:
+    """One arrival process' sustained-load measurement."""
+
+    arrival: str
+    #: Offered load: arrivals/s × queries per arrival.
+    offered_qps: float
+    duration_s: float
+    submitted: int
+    accepted: int
+    rejected: int
+    completed: int
+    batches: int
+    flushes: int
+    #: Issued-to-scheduled ratio across all flushes (window merge win).
+    merge_ratio: float
+    scheduled_requests: int
+    bases_processed: int
+    #: First submit → last completion, wall clock.
+    wall_seconds: float
+    #: Sustained throughput: bases processed / wall seconds.
+    mbase_per_second: float
+    #: The accelerator model's own throughput over the same stream.
+    model_mbase_per_second: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    mean_retry_after_s: float
+
+
+@dataclass(frozen=True)
+class ServingBenchResult:
+    """Both arrival-process rows plus the workload shape."""
+
+    rows: list[ServingBenchRow]
+    genome_length: int
+    k: int
+    rate: float
+    duration: float
+    tenants: int
+    queries_per_arrival: int
+    query_length: int
+    pool_size: int
+    zipf_s: float
+    max_batch: int
+    max_delay: float
+    window: int
+    queue_capacity: int
+
+
+def run_serving_bench(
+    genome_length: int = 20_000,
+    seed: int = 0,
+    rate: float = 500.0,
+    duration: float = 1.0,
+    tenants: int = 4,
+    queries_per_arrival: int = 4,
+    query_length: int = 28,
+    pool_size: int = 512,
+    zipf_s: float = 1.1,
+    k: int = DEFAULT_STEP,
+    max_batch: int = 64,
+    max_delay: float = 0.005,
+    window: int = 2,
+    queue_capacity: int = 4096,
+    arrivals: tuple[str, ...] = ARRIVALS,
+) -> ServingBenchResult:
+    """Measure the serving layer under open-loop Poisson and bursty load.
+
+    One index, one accelerator model; a fresh :class:`~repro.serving
+    .service.QueryService` per arrival process so the stats and latencies
+    are per-row.  Rejected arrivals are counted, not retried — open loop.
+    """
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    table = ExmaTable(reference.sequence, k=k)
+    backend = ExmaBackend(table=table)
+    accelerator = ExmaAccelerator(table, None, _scaled_config(exma_full_config()))
+    pool = sample_query_pool(
+        reference.sequence, pool_size=pool_size, length=query_length, seed=seed
+    )
+    config = ServingConfig(
+        max_batch=max_batch,
+        max_delay=max_delay,
+        queue_capacity=queue_capacity,
+        window=window,
+    )
+
+    rows = []
+    for index, arrival in enumerate(arrivals):
+        if arrival == "poisson":
+            offsets = poisson_schedule(rate, duration, seed=seed + index)
+        elif arrival == "bursty":
+            offsets = bursty_schedule(rate, duration, seed=seed + index)
+        else:
+            raise ValueError(f"unknown arrival process {arrival!r}; known: {ARRIVALS}")
+        schedule = make_schedule(
+            offsets,
+            pool,
+            tenants=tenants,
+            queries_per_arrival=queries_per_arrival,
+            zipf_s=zipf_s,
+            seed=seed + index,
+        )
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        with service:
+            loop = run_open_loop(service, schedule)
+        stats = service.stats
+        replay = service.result()
+        latencies_ms = [latency * 1e3 for latency in stats.latencies]
+        wall = max(loop.wall_seconds, 1e-12)
+        retry_afters = loop.retry_afters
+        rows.append(
+            ServingBenchRow(
+                arrival=arrival,
+                offered_qps=rate * queries_per_arrival,
+                duration_s=duration,
+                submitted=loop.offered,
+                accepted=loop.accepted,
+                rejected=loop.rejected,
+                completed=stats.completed,
+                batches=stats.batches,
+                flushes=stats.flushes,
+                merge_ratio=replay.merge_ratio,
+                scheduled_requests=replay.requests,
+                bases_processed=replay.bases_processed,
+                wall_seconds=loop.wall_seconds,
+                mbase_per_second=replay.bases_processed / wall / 1e6,
+                model_mbase_per_second=replay.throughput.mbase_per_second,
+                p50_ms=_percentile(latencies_ms, 50.0),
+                p95_ms=_percentile(latencies_ms, 95.0),
+                p99_ms=_percentile(latencies_ms, 99.0),
+                max_ms=max(latencies_ms) if latencies_ms else float("nan"),
+                mean_retry_after_s=(
+                    sum(retry_afters) / len(retry_afters) if retry_afters else 0.0
+                ),
+            )
+        )
+
+    return ServingBenchResult(
+        rows=rows,
+        genome_length=genome_length,
+        k=table.k,
+        rate=rate,
+        duration=duration,
+        tenants=tenants,
+        queries_per_arrival=queries_per_arrival,
+        query_length=query_length,
+        pool_size=pool_size,
+        zipf_s=zipf_s,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        window=window,
+        queue_capacity=queue_capacity,
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    from ..serving import percentile
+
+    return percentile(values, q)
+
+
+def format_serving(result: ServingBenchResult) -> str:
+    """Render the serving benchmark table."""
+    lines = [
+        "Serving - sustained open-loop load through the always-on service "
+        f"(human {result.genome_length:,} bp, k={result.k}, "
+        f"{result.rate:.0f} arrivals/s x {result.queries_per_arrival} queries, "
+        f"{result.tenants} tenants, W={result.window}, "
+        f"batch<={result.max_batch} @ {result.max_delay * 1e3:.1f} ms)"
+    ]
+    lines.append(
+        f"{'arrival':>8s} {'offered':>8s} {'accept':>7s} {'reject':>7s} "
+        f"{'batches':>8s} {'flushes':>8s} {'merge':>6s} {'Mbase/s':>8s} "
+        f"{'p50 ms':>7s} {'p99 ms':>7s} {'max ms':>7s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.arrival:>8s} {row.submitted:8d} {row.accepted:7d} {row.rejected:7d} "
+            f"{row.batches:8d} {row.flushes:8d} {row.merge_ratio:5.2f}x "
+            f"{row.mbase_per_second:8.3f} {row.p50_ms:7.2f} {row.p99_ms:7.2f} "
+            f"{row.max_ms:7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def serving_report(result: ServingBenchResult, **workload) -> dict:
+    """The benchmark as a JSON-ready record (``BENCH_serving.json``)."""
+    return {
+        "benchmark": "serving",
+        "workload": {
+            "genome_length": result.genome_length,
+            "k": result.k,
+            "rate": result.rate,
+            "duration_s": result.duration,
+            "tenants": result.tenants,
+            "queries_per_arrival": result.queries_per_arrival,
+            "query_length": result.query_length,
+            "pool_size": result.pool_size,
+            "zipf_s": result.zipf_s,
+            "max_batch": result.max_batch,
+            "max_delay_s": result.max_delay,
+            "window": result.window,
+            "queue_capacity": result.queue_capacity,
+            **dict(workload),
+        },
+        "rows": [
+            {
+                "arrival": row.arrival,
+                "offered_qps": row.offered_qps,
+                "duration_s": row.duration_s,
+                "submitted": row.submitted,
+                "accepted": row.accepted,
+                "rejected": row.rejected,
+                "completed": row.completed,
+                "batches": row.batches,
+                "flushes": row.flushes,
+                "merge_ratio": round(row.merge_ratio, 4),
+                "scheduled_requests": row.scheduled_requests,
+                "bases_processed": row.bases_processed,
+                "wall_seconds": round(row.wall_seconds, 6),
+                "mbase_per_second": round(row.mbase_per_second, 6),
+                "model_mbase_per_second": round(row.model_mbase_per_second, 4),
+                "p50_ms": round(row.p50_ms, 4),
+                "p95_ms": round(row.p95_ms, 4),
+                "p99_ms": round(row.p99_ms, 4),
+                "max_ms": round(row.max_ms, 4),
+                "mean_retry_after_s": round(row.mean_retry_after_s, 6),
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def write_serving_json(path: str, result: ServingBenchResult, **workload) -> dict:
+    """Write :func:`serving_report` to *path*; returns the record."""
+    report = serving_report(result, **workload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report

@@ -1,0 +1,641 @@
+"""The always-on serving layer: continuous ingestion with dynamic batching.
+
+Everything below PR 5 is a *batch harness*: a caller materialises its
+query batches up front and pushes them through ``QueryEngine`` /
+``run_windowed``.  A service facing millions of users sees the opposite
+shape — queries trickle in continuously from many concurrent clients, and
+the system must *form* the batches the engine stack is fast on.
+:class:`QueryService` closes that gap:
+
+* **Admission** — clients :meth:`~QueryService.submit` query groups into a
+  bounded multi-tenant queue (:class:`TenantQueues`).  When the backlog
+  would exceed ``queue_capacity`` the submit is rejected immediately with
+  :class:`AdmissionRejected` carrying a ``retry_after`` estimate — explicit
+  backpressure instead of unbounded memory growth.
+* **Dynamic batching** — a single batcher thread forms batches under a
+  deadline-aware admission window: the window opens when the oldest
+  queued query arrived and closes after ``max_delay`` seconds or as soon
+  as ``max_batch`` queries are queued, whichever comes first.  Small
+  traffic pays at most ``max_delay`` of batching latency; heavy traffic
+  always runs full batches.
+* **Fairness** — batch slots are filled round-robin across tenant queues
+  (one query per tenant per turn, resuming after the last tenant served),
+  so a flooding tenant cannot starve the others; each tenant still drains
+  FIFO internally.
+* **Execution** — each batch runs through the wrapped
+  :class:`~repro.engine.engine.QueryEngine` (which brings the persistent
+  sharded :class:`~repro.engine.sharded.BackendWorkerPool` substrate along
+  for free), its columnar request stream feeds a
+  :class:`~repro.engine.window.CoalescingWindow`, and every flushed window
+  is replayed on the accelerator model via
+  :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.replay_flush` — the
+  *same* unit of work :meth:`~repro.accel.exma_accelerator.ExmaAccelerator
+  .run_stream` uses, so for a given batch partitioning the served flush
+  results are field-for-field identical to the offline
+  :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_windowed` path
+  (pinned by ``tests/test_serving.py``).
+
+Completion is per flush: a query's :class:`QueryOutcome` resolves once the
+flush containing its batch has been replayed, and its latency spans
+arrival → flush completion — the number the serving benchmark reports as
+p50/p99 (:mod:`repro.experiments.serving`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..accel.exma_accelerator import (
+    AcceleratorRunResult,
+    ExmaAccelerator,
+    WindowedRunResult,
+)
+from ..engine.engine import QueryEngine
+from ..engine.window import CoalescingWindow
+from ..index.fmindex import Interval
+
+__all__ = [
+    "AdmissionRejected",
+    "QueryOutcome",
+    "QueryService",
+    "ServingConfig",
+    "ServingStats",
+    "TenantQueues",
+    "Ticket",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (``q`` in [0, 100]).
+
+    Returns ``nan`` for an empty sequence — downstream gates check
+    ``math.isfinite``, so "no latencies recorded" can never masquerade as
+    a great tail.
+    """
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class AdmissionRejected(RuntimeError):
+    """A submit bounced off the full admission queue (backpressure).
+
+    Attributes:
+        retry_after: seconds the client should wait before retrying —
+            the time the batcher needs to drain the current backlog at
+            one ``max_batch`` batch per admission window.
+        queued: queries queued at rejection time.
+        capacity: the configured admission-queue bound.
+    """
+
+    def __init__(self, retry_after: float, queued: int, capacity: int) -> None:
+        super().__init__(
+            f"admission queue full ({queued}/{capacity} queries); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+        self.queued = queued
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the dynamic batcher and admission queue.
+
+    Args:
+        max_batch: most queries one dynamic batch may carry; a full queue
+            closes the admission window early.
+        max_delay: the admission window — the longest a queued query may
+            wait for co-batched company before its batch is formed anyway.
+        queue_capacity: bound on queries queued across all tenants;
+            submits beyond it are rejected with a ``retry_after``.
+        window: :class:`~repro.engine.window.CoalescingWindow` capacity W —
+            how many consecutive dynamic batches share one cross-batch
+            merge and flush replay.
+        idle_timeout: how long the idle batcher sleeps between checks when
+            nothing is queued (an admission window that times out with no
+            queued queries simply reopens; see ``ServingStats
+            .idle_timeouts``).  An idle tick also force-flushes a
+            partially filled coalescing window, so under a traffic lull a
+            query waits at most ~``idle_timeout`` for its flush instead
+            of indefinitely for ``window`` batches' worth of company.
+        name: label stamped on the accelerator run results.
+    """
+
+    max_batch: int = 64
+    max_delay: float = 0.005
+    queue_capacity: int = 4096
+    window: int = 1
+    idle_timeout: float = 0.05
+    name: str = "EXMA-serving"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be > 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.idle_timeout <= 0:
+            raise ValueError("idle_timeout must be > 0")
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One served query: its search result plus the serving timeline."""
+
+    query: str
+    tenant: str
+    interval: Interval
+    #: Clock reading when the query was admitted.
+    arrival: float
+    #: Clock reading when its flush finished replaying.
+    completion: float
+    #: Index of the dynamic batch that searched the query.
+    batch_index: int
+    #: Index of the flush that replayed it (-1 when the service runs
+    #: without an accelerator and completes queries at search time).
+    flush_index: int
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion seconds (the benchmark's p50/p99 unit)."""
+        return self.completion - self.arrival
+
+
+class Ticket:
+    """Completion handle for one submitted query group.
+
+    Queries of one group may land in different dynamic batches (and
+    flushes); the ticket resolves once *all* of them have completed, and
+    :meth:`result` returns their outcomes in submission order.
+    """
+
+    __slots__ = ("_event", "_lock", "_outcomes", "_remaining")
+
+    def __init__(self, count: int) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._outcomes: list[QueryOutcome | None] = [None] * count
+        self._remaining = count
+        if count == 0:
+            self._event.set()
+
+    def _complete(self, slot: int, outcome: QueryOutcome) -> None:
+        with self._lock:
+            self._outcomes[slot] = outcome
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._event.set()
+
+    def done(self) -> bool:
+        """Whether every query of the group has completed."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the group completes; False on timeout."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> list[QueryOutcome]:
+        """The group's outcomes, in submission order.
+
+        Raises:
+            TimeoutError: the group did not complete within *timeout*.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query group not complete ({self._remaining} of "
+                f"{len(self._outcomes)} queries pending)"
+            )
+        return list(self._outcomes)  # type: ignore[arg-type]
+
+
+class _Pending:
+    """One admitted query waiting for (or riding through) a batch."""
+
+    __slots__ = ("query", "tenant", "ticket", "slot", "arrival", "interval", "batch_index")
+
+    def __init__(self, query: str, tenant: str, ticket: Ticket, slot: int, arrival: float) -> None:
+        self.query = query
+        self.tenant = tenant
+        self.ticket = ticket
+        self.slot = slot
+        self.arrival = arrival
+        self.interval: Interval | None = None
+        self.batch_index = -1
+
+
+class TenantQueues:
+    """Bounded multi-tenant FIFO queues with round-robin fair draining.
+
+    Admission is bounded globally (``capacity`` queries across all
+    tenants).  :meth:`take` fills a batch one query per tenant per turn,
+    walking the tenant ring from just after the tenant served last — the
+    classic round-robin guarantee: with T active tenants, each is due at
+    least ``floor(max_batch / T)`` slots of every batch, regardless of how
+    hard any single tenant floods.  Within a tenant, order stays FIFO.
+
+    Not thread-safe on its own; :class:`QueryService` serialises access
+    under its lock.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queues: "OrderedDict[str, deque[_Pending]]" = OrderedDict()
+        #: Tenant ring in first-appearance order; `_next` is the ring
+        #: index the next take() starts from.
+        self._ring: list[str] = []
+        self._next = 0
+        self._queued = 0
+
+    @property
+    def queued(self) -> int:
+        """Queries currently admitted and not yet taken."""
+        return self._queued
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenants seen so far, in first-appearance (ring) order."""
+        return list(self._ring)
+
+    def admit(self, pendings: Sequence[_Pending]) -> None:
+        """Enqueue a group (caller enforced capacity; one tenant per call)."""
+        for pending in pendings:
+            queue = self._queues.get(pending.tenant)
+            if queue is None:
+                queue = self._queues[pending.tenant] = deque()
+                self._ring.append(pending.tenant)
+            queue.append(pending)
+        self._queued += len(pendings)
+
+    def has_room(self, count: int) -> bool:
+        """Whether *count* more queries fit under the capacity bound."""
+        return self._queued + count <= self.capacity
+
+    def oldest_arrival(self) -> float | None:
+        """Arrival time of the longest-waiting query (None when empty)."""
+        heads = [queue[0].arrival for queue in self._queues.values() if queue]
+        return min(heads) if heads else None
+
+    def take(self, limit: int) -> list[_Pending]:
+        """Dequeue up to *limit* queries, round-robin across tenants."""
+        if limit < 1 or self._queued == 0:
+            return []
+        batch: list[_Pending] = []
+        ring_size = len(self._ring)
+        position = self._next
+        idle_turns = 0
+        while len(batch) < limit and idle_turns < ring_size:
+            tenant = self._ring[position % ring_size]
+            queue = self._queues[tenant]
+            if queue:
+                batch.append(queue.popleft())
+                idle_turns = 0
+            else:
+                idle_turns += 1
+            position += 1
+        self._next = position % ring_size
+        self._queued -= len(batch)
+        return batch
+
+    def clear(self) -> list[_Pending]:
+        """Drop everything queued (``stop(drain=False)``); returns the drops."""
+        dropped = [pending for queue in self._queues.values() for pending in queue]
+        for queue in self._queues.values():
+            queue.clear()
+        self._queued = 0
+        return dropped
+
+
+@dataclass
+class ServingStats:
+    """Counters the service accumulates over its lifetime.
+
+    Mutated only by the submit path and the batcher thread under the
+    service lock; read freely (python ints/floats, worst case a stale
+    snapshot).
+    """
+
+    #: Client submit calls accepted / queries admitted through them.
+    submissions: int = 0
+    accepted: int = 0
+    #: Queries bounced by backpressure.
+    rejected: int = 0
+    #: Queries searched / completed (outcome delivered).
+    searched: int = 0
+    completed: int = 0
+    #: Dynamic batches formed and flush replays executed.
+    batches: int = 0
+    flushes: int = 0
+    #: Requests entering / surviving the cross-batch merge.
+    issued_requests: int = 0
+    scheduled_requests: int = 0
+    #: Query batches merged into flushed windows (mirrors
+    #: :attr:`~repro.accel.exma_accelerator.WindowedRunResult.batches`).
+    window_batches: int = 0
+    #: Admission windows that timed out with no queued queries.
+    idle_timeouts: int = 0
+    #: Arrival→completion seconds per completed query, in completion order.
+    latencies: list[float] = field(default_factory=list)
+    #: Completed queries per tenant.
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile (nan with nothing completed)."""
+        return percentile(self.latencies, q)
+
+
+class QueryService(object):
+    """A long-lived serving loop over a query engine and accelerator model.
+
+    Args:
+        engine: the :class:`~repro.engine.engine.QueryEngine` every
+            dynamic batch runs through (sharded engines bring their
+            persistent worker pool along).
+        accelerator: the accelerator model replaying each flushed window;
+            ``None`` serves search-only and completes queries at search
+            time.
+        config: batching/backpressure knobs (:class:`ServingConfig`).
+        clock: monotonic time source (injectable for tests).
+
+    Use as a context manager, or :meth:`start` / :meth:`stop` explicitly.
+    ``stop(drain=True)`` (the default) finishes everything admitted —
+    remaining queue drained into final batches, the partial coalescing
+    window force-flushed — so every accepted ticket resolves.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        accelerator: ExmaAccelerator | None = None,
+        config: ServingConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._engine = engine
+        self._accelerator = accelerator
+        self._config = config or ServingConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queues = TenantQueues(self._config.queue_capacity)
+        self._window = CoalescingWindow(self._config.window)
+        #: Batches searched but awaiting their window flush.
+        self._in_window: list[list[_Pending]] = []
+        self._flushes: list[AcceleratorRunResult] = []
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self.stats = ServingStats()
+
+    @property
+    def config(self) -> ServingConfig:
+        """The service's batching/backpressure knobs."""
+        return self._config
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The wrapped query engine."""
+        return self._engine
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "QueryService":
+        """Start the batcher thread (idempotent while running)."""
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service has been stopped")
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._serve_loop, name="repro-serving-batcher", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the batcher.
+
+        With ``drain=True`` everything already admitted is batched,
+        searched, flushed and completed first; with ``drain=False`` the
+        queue is dropped and the affected tickets never resolve (their
+        ``result(timeout=...)`` raises ``TimeoutError``).
+        """
+        with self._wakeup:
+            self._stopping = True
+            if not drain:
+                self._queues.clear()
+            self._wakeup.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        elif drain:
+            # Never-started service: drain inline so submitted work still
+            # completes deterministically.
+            self._finish()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, queries: Iterable[str], tenant: str = "default") -> Ticket:
+        """Admit a query group for *tenant*; returns its :class:`Ticket`.
+
+        Raises:
+            AdmissionRejected: the bounded queue cannot hold the group;
+                the exception's ``retry_after`` estimates when the backlog
+                will have drained.
+            RuntimeError: the service has been stopped.
+        """
+        group = [str(query) for query in queries]
+        ticket = Ticket(len(group))
+        if not group:
+            return ticket
+        now = self._clock()
+        with self._wakeup:
+            if self._stopping:
+                raise RuntimeError("service has been stopped")
+            if not self._queues.has_room(len(group)):
+                self.stats.rejected += len(group)
+                raise AdmissionRejected(
+                    retry_after=self._retry_after(),
+                    queued=self._queues.queued,
+                    capacity=self._config.queue_capacity,
+                )
+            self._queues.admit(
+                [
+                    _Pending(query, tenant, ticket, slot, now)
+                    for slot, query in enumerate(group)
+                ]
+            )
+            self.stats.submissions += 1
+            self.stats.accepted += len(group)
+            self._wakeup.notify_all()
+        return ticket
+
+    def _retry_after(self) -> float:
+        """Backlog drain estimate: batches outstanding × admission window."""
+        backlog_batches = math.ceil(
+            max(1, self._queues.queued) / self._config.max_batch
+        )
+        return backlog_batches * self._config.max_delay
+
+    # ------------------------------------------------------------------ #
+    # Batcher
+    # ------------------------------------------------------------------ #
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            if batch:
+                self._run_batch(batch)
+            elif self._in_window:
+                # Idle tick with a partially filled coalescing window: no
+                # new batch is coming to top it off, so flush now — a
+                # query's completion must never wait on *future* traffic.
+                flushed = self._window.flush()
+                if flushed is not None:
+                    self._replay(flushed)
+        self._finish()
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Form the next dynamic batch.
+
+        Returns ``None`` to shut the loop down, ``[]`` when an admission
+        window timed out with nothing queued (the idle tick — the loop
+        simply reopens the window), else the batch.
+        """
+        config = self._config
+        with self._wakeup:
+            while self._queues.queued == 0:
+                if self._stopping:
+                    return None
+                if not self._wakeup.wait(config.idle_timeout):
+                    self.stats.idle_timeouts += 1
+                    return []
+            # The admission window is anchored at the oldest queued
+            # query's arrival: nobody waits longer than max_delay for a
+            # batch to form, and a full batch never waits at all.
+            oldest = self._queues.oldest_arrival()
+            deadline = (oldest if oldest is not None else self._clock()) + config.max_delay
+            while self._queues.queued < config.max_batch and not self._stopping:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._wakeup.wait(remaining)
+            return self._queues.take(config.max_batch)
+
+    def _run_batch(self, pendings: list[_Pending]) -> None:
+        result = self._engine.search_batch([pending.query for pending in pendings])
+        with self._lock:
+            batch_index = self.stats.batches
+            self.stats.batches += 1
+            self.stats.searched += len(pendings)
+        for pending, interval in zip(pendings, result.intervals):
+            pending.interval = interval
+            pending.batch_index = batch_index
+        if self._accelerator is None:
+            self._complete(pendings, flush_index=-1)
+            return
+        self._in_window.append(pendings)
+        flushed = self._window.push(result.stats.requests)
+        if flushed is not None:
+            self._replay(flushed)
+
+    def _replay(self, flushed) -> None:
+        """Replay one flushed window — the service's unit of work."""
+        run = self._accelerator.replay_flush(flushed, name=self._config.name)
+        pendings = [pending for batch in self._in_window for pending in batch]
+        self._in_window = []
+        with self._lock:
+            flush_index = len(self._flushes)
+            self._flushes.append(run)
+            self.stats.flushes += 1
+            self.stats.issued_requests += flushed.issued
+            self.stats.scheduled_requests += flushed.unique
+            self.stats.window_batches += flushed.batches
+        self._complete(pendings, flush_index)
+
+    def _complete(self, pendings: list[_Pending], flush_index: int) -> None:
+        now = self._clock()
+        with self._lock:
+            for pending in pendings:
+                self.stats.latencies.append(now - pending.arrival)
+                self.stats.per_tenant[pending.tenant] = (
+                    self.stats.per_tenant.get(pending.tenant, 0) + 1
+                )
+            self.stats.completed += len(pendings)
+        for pending in pendings:
+            pending.ticket._complete(
+                pending.slot,
+                QueryOutcome(
+                    query=pending.query,
+                    tenant=pending.tenant,
+                    interval=pending.interval,
+                    arrival=pending.arrival,
+                    completion=now,
+                    batch_index=pending.batch_index,
+                    flush_index=flush_index,
+                ),
+            )
+
+    def _finish(self) -> None:
+        """Drain the queue and force-flush the partial window (stop path)."""
+        while True:
+            with self._lock:
+                batch = self._queues.take(self._config.max_batch)
+            if not batch:
+                break
+            self._run_batch(batch)
+        final = self._window.flush()
+        if final is not None:
+            self._replay(final)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def result(self) -> WindowedRunResult:
+        """The accumulated replay record, shaped exactly like
+        :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_windowed`'s.
+
+        For a given partitioning of the served queries into dynamic
+        batches, the flushes in here are field-for-field identical to the
+        offline path over the same batch streams — both run
+        :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.replay_flush`
+        on identical :class:`~repro.engine.window.WindowedBatch` merges.
+        """
+        with self._lock:
+            return WindowedRunResult(
+                name=self._config.name,
+                flushes=list(self._flushes),
+                capacity=self._config.window,
+                batches=self.stats.window_batches,
+                issued=self.stats.issued_requests,
+            )

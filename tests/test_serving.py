@@ -1,0 +1,410 @@
+"""Serving-layer suite: admission, batching, fairness, backpressure, and
+the served-equals-offline equivalence contract.
+
+The load-bearing test is :class:`TestOfflineEquivalence`: for a given
+partitioning of the served queries into dynamic batches, the service's
+flush replays must be **field-for-field identical** to
+:meth:`repro.accel.exma_accelerator.ExmaAccelerator.run_windowed` over the
+same per-batch request streams, and every returned interval identical to
+:meth:`repro.engine.engine.QueryEngine.search_batch` — serving is a
+different *arrival* of the same computation, never a different result.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.accel.exma_accelerator import ExmaAccelerator
+from repro.engine.backends import ExmaBackend
+from repro.engine.engine import QueryEngine
+from repro.exma.table import ExmaTable
+from repro.genome.sequence import random_genome
+from repro.serving import (
+    AdmissionRejected,
+    QueryService,
+    ServingConfig,
+    TenantQueues,
+    Ticket,
+    bursty_schedule,
+    make_schedule,
+    percentile,
+    poisson_schedule,
+    run_open_loop,
+    sample_query_pool,
+    zipfian_picks,
+)
+from repro.serving.service import _Pending
+from repro.testing import random_queries
+
+#: Generous join/result timeout: everything here is toy-scale.
+TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def serving_stack():
+    reference = random_genome(1800, seed=11)
+    table = ExmaTable(reference, k=4)
+    backend = ExmaBackend(table=table)
+    accelerator = ExmaAccelerator(table, None)
+    return reference, backend, accelerator
+
+
+def _pending(query: str, tenant: str, arrival: float = 0.0) -> _Pending:
+    return _Pending(query, tenant, Ticket(1), 0, arrival)
+
+
+# --------------------------------------------------------------------- #
+# Admission queue and fairness
+# --------------------------------------------------------------------- #
+
+
+class TestTenantQueues:
+    def test_round_robin_interleaves_tenants(self):
+        queues = TenantQueues(capacity=64)
+        queues.admit([_pending(f"a{i}", "a") for i in range(5)])
+        queues.admit([_pending(f"b{i}", "b") for i in range(2)])
+        batch = queues.take(6)
+        order = [(p.tenant, p.query) for p in batch]
+        # One query per tenant per turn until b drains, then a alone;
+        # within each tenant strictly FIFO.
+        assert order == [
+            ("a", "a0"), ("b", "b0"), ("a", "a1"), ("b", "b1"), ("a", "a2"), ("a", "a3"),
+        ]
+        assert queues.queued == 1
+
+    def test_round_robin_resumes_after_last_served_tenant(self):
+        queues = TenantQueues(capacity=64)
+        queues.admit([_pending(f"a{i}", "a") for i in range(4)])
+        queues.admit([_pending(f"b{i}", "b") for i in range(4)])
+        first = queues.take(3)
+        second = queues.take(3)
+        # The second batch starts with the tenant after the last served,
+        # so across batches both tenants get equal slots.
+        tenants = [p.tenant for p in first + second]
+        assert tenants.count("a") == tenants.count("b") == 3
+
+    def test_flooding_tenant_cannot_starve_others(self):
+        queues = TenantQueues(capacity=256)
+        queues.admit([_pending(f"flood{i}", "flood") for i in range(100)])
+        queues.admit([_pending("fair0", "fair")])
+        batch = queues.take(8)
+        assert "fair" in {p.tenant for p in batch}
+
+    def test_capacity_accounting(self):
+        queues = TenantQueues(capacity=4)
+        assert queues.has_room(4)
+        queues.admit([_pending(f"q{i}", "t") for i in range(4)])
+        assert not queues.has_room(1)
+        queues.take(2)
+        assert queues.has_room(2) and not queues.has_room(3)
+
+    def test_oldest_arrival_spans_tenants(self):
+        queues = TenantQueues(capacity=8)
+        queues.admit([_pending("late", "a", arrival=5.0)])
+        queues.admit([_pending("early", "b", arrival=1.0)])
+        assert queues.oldest_arrival() == 1.0
+        assert queues.take(8)  # drain
+        assert queues.oldest_arrival() is None
+
+
+# --------------------------------------------------------------------- #
+# Backpressure
+# --------------------------------------------------------------------- #
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(
+            QueryEngine(backend), config=ServingConfig(queue_capacity=8, max_batch=4)
+        )
+        # Not started: nothing drains, so the bound is exact.
+        service.submit(["ACGT"] * 8)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(["ACGT"])
+        rejection = excinfo.value
+        assert rejection.retry_after > 0
+        assert rejection.queued == 8 and rejection.capacity == 8
+        # Drain estimate: 8 queued / 4 per batch = 2 admission windows.
+        assert rejection.retry_after == pytest.approx(2 * service.config.max_delay)
+        assert service.stats.rejected == 1
+        service.stop(drain=False)
+
+    def test_oversized_group_rejected_before_any_enqueue(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(
+            QueryEngine(backend), config=ServingConfig(queue_capacity=4)
+        )
+        with pytest.raises(AdmissionRejected):
+            service.submit(["ACGT"] * 5)
+        assert service.stats.accepted == 0
+        service.stop(drain=False)
+
+    def test_submit_after_stop_raises(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(QueryEngine(backend))
+        service.stop()
+        with pytest.raises(RuntimeError):
+            service.submit(["ACGT"])
+
+
+# --------------------------------------------------------------------- #
+# The admission window
+# --------------------------------------------------------------------- #
+
+
+class TestAdmissionWindow:
+    def test_idle_timeout_with_no_queued_queries(self, serving_stack):
+        """An admission window expiring on an empty queue is a no-op tick:
+        no batch, no flush, the service stays healthy."""
+        _, backend, accelerator = serving_stack
+        service = QueryService(
+            QueryEngine(backend),
+            accelerator,
+            ServingConfig(idle_timeout=0.01),
+        )
+        assert service._next_batch() == []
+        assert service.stats.idle_timeouts == 1
+        assert service.stats.batches == 0 and service.stats.flushes == 0
+        # The service still serves afterwards.
+        with service:
+            ticket = service.submit(["ACGTACGT"])
+            service.stop()
+        assert ticket.done()
+
+    def test_stopping_idle_loop_returns_none(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(QueryEngine(backend))
+        service._stopping = True
+        assert service._next_batch() is None
+
+    def test_max_delay_bounds_batch_wait(self, serving_stack):
+        """A lone query must not wait for max_batch company forever."""
+        _, backend, accelerator = serving_stack
+        config = ServingConfig(max_batch=1024, max_delay=0.02, window=1)
+        with QueryService(QueryEngine(backend), accelerator, config) as service:
+            start = time.monotonic()
+            outcome = service.submit(["ACGTACGT"]).result(timeout=TIMEOUT)[0]
+            elapsed = time.monotonic() - start
+        assert outcome.latency >= 0
+        # Window (20 ms) + search + replay; generous bound for slow CI.
+        assert elapsed < 10.0
+        assert service.stats.batches == 1
+
+    def test_idle_tick_flushes_partial_window(self, serving_stack):
+        """Liveness: a batch stuck in a half-full coalescing window is
+        flushed by the next idle tick — completions never wait on future
+        traffic (no stop() needed)."""
+        reference, backend, accelerator = serving_stack
+        config = ServingConfig(
+            max_batch=4, max_delay=0.005, window=8, idle_timeout=0.02
+        )
+        with QueryService(QueryEngine(backend), accelerator, config) as service:
+            ticket = service.submit(random_queries(reference, count=4, length=16, seed=21))
+            outcomes = ticket.result(timeout=TIMEOUT)  # resolves pre-stop
+            assert service.stats.flushes == 1
+        assert {outcome.flush_index for outcome in outcomes} == {0}
+
+    def test_full_batch_closes_window_early(self, serving_stack):
+        """max_batch queries queued => the batch forms without waiting out
+        the (here: very long) admission window."""
+        _, backend, accelerator = serving_stack
+        config = ServingConfig(max_batch=6, max_delay=30.0, window=1)
+        with QueryService(QueryEngine(backend), accelerator, config) as service:
+            ticket = service.submit(["ACGTAC"] * 6)
+            outcomes = ticket.result(timeout=TIMEOUT)
+        assert len(outcomes) == 6
+        assert {outcome.batch_index for outcome in outcomes} == {0}
+
+
+# --------------------------------------------------------------------- #
+# Served results == offline results
+# --------------------------------------------------------------------- #
+
+
+class TestOfflineEquivalence:
+    @pytest.mark.parametrize("window,groups", [(1, 3), (2, 4), (2, 3), (4, 2)])
+    def test_flushes_identical_to_run_windowed(self, serving_stack, window, groups):
+        """Deterministic batching (every submit exactly max_batch queries,
+        huge max_delay) makes served batches == submitted groups; the
+        flush replays must then equal run_windowed over the same streams
+        field-for-field — including the trailing partial window forced
+        out by stop(drain=True)."""
+        reference, backend, accelerator = serving_stack
+        batch = 8
+        query_groups = [
+            random_queries(reference, count=batch, length=16, seed=100 + index)
+            for index in range(groups)
+        ]
+        config = ServingConfig(
+            max_batch=batch, max_delay=30.0, window=window, idle_timeout=30.0
+        )
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        with service:
+            tickets = [service.submit(group) for group in query_groups]
+            service.stop()
+        outcomes = [ticket.result(timeout=TIMEOUT) for ticket in tickets]
+
+        offline_engine = QueryEngine(backend)
+        streams = [
+            offline_engine.search_batch(group).stats.requests for group in query_groups
+        ]
+        offline = accelerator.run_windowed(
+            iter(streams), window=window, name=config.name
+        )
+
+        served = service.result()
+        assert served.flushes == offline.flushes
+        assert served.issued == offline.issued
+        assert served.batches == offline.batches
+        assert served.capacity == window
+        for group, group_outcomes in zip(query_groups, outcomes):
+            assert [
+                outcome.interval for outcome in group_outcomes
+            ] == offline_engine.search_batch(group).intervals
+
+    def test_search_only_service_matches_engine(self, serving_stack):
+        reference, backend, _ = serving_stack
+        queries = random_queries(reference, count=10, length=14, seed=5)
+        with QueryService(QueryEngine(backend)) as service:
+            outcomes = service.submit(queries).result(timeout=TIMEOUT)
+        assert [outcome.interval for outcome in outcomes] == QueryEngine(
+            backend
+        ).search_batch(queries).intervals
+        assert all(outcome.flush_index == -1 for outcome in outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestLifecycle:
+    def test_stop_drains_partial_window(self, serving_stack):
+        reference, backend, accelerator = serving_stack
+        config = ServingConfig(max_batch=4, max_delay=30.0, window=8)
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        with service:
+            ticket = service.submit(random_queries(reference, count=4, length=16, seed=9))
+            service.stop()
+        assert ticket.done()
+        assert service.stats.flushes == 1  # the forced partial flush
+        assert service.result().capacity == 8
+
+    def test_stop_without_drain_abandons_queue(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(
+            QueryEngine(backend), config=ServingConfig(queue_capacity=16)
+        )
+        ticket = service.submit(["ACGT"] * 3)
+        service.stop(drain=False)
+        assert not ticket.done()
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+
+    def test_never_started_service_drains_on_stop(self, serving_stack):
+        """stop(drain=True) completes admitted work even if the batcher
+        thread never ran."""
+        reference, backend, accelerator = serving_stack
+        service = QueryService(
+            QueryEngine(backend), accelerator, ServingConfig(window=2)
+        )
+        ticket = service.submit(random_queries(reference, count=5, length=16, seed=3))
+        service.stop()
+        assert ticket.done()
+        assert service.stats.flushes == 1
+
+    def test_empty_submit_resolves_immediately(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(QueryEngine(backend))
+        ticket = service.submit([])
+        assert ticket.done() and ticket.result(timeout=0) == []
+        service.stop()
+
+    def test_per_tenant_completion_counts(self, serving_stack):
+        reference, backend, accelerator = serving_stack
+        with QueryService(QueryEngine(backend), accelerator) as service:
+            tickets = [
+                service.submit(random_queries(reference, 3, 14, seed=index), tenant=tenant)
+                for index, tenant in enumerate(("alice", "bob"))
+            ]
+            service.stop()
+        for ticket in tickets:
+            ticket.result(timeout=TIMEOUT)
+        assert service.stats.per_tenant == {"alice": 3, "bob": 3}
+
+
+# --------------------------------------------------------------------- #
+# Load generation
+# --------------------------------------------------------------------- #
+
+
+class TestLoadGen:
+    def test_poisson_schedule_shape(self):
+        offsets = poisson_schedule(rate=200.0, duration=1.0, seed=0)
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset < 1.0 for offset in offsets)
+        # Poisson(200): overwhelmingly within +-50% of the mean count.
+        assert 100 <= len(offsets) <= 300
+        assert offsets == poisson_schedule(rate=200.0, duration=1.0, seed=0)
+
+    def test_bursty_schedule_concentrates_in_on_windows(self):
+        offsets = bursty_schedule(
+            rate=200.0, duration=1.0, seed=0, period=0.2, on_fraction=0.25
+        )
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset < 1.0 for offset in offsets)
+        # Every arrival lands inside the first quarter of its period.
+        assert all((offset % 0.2) <= 0.05 + 1e-9 for offset in offsets)
+
+    def test_zipfian_picks_are_skewed(self):
+        picks = zipfian_picks(5000, pool_size=64, s=1.2, seed=0)
+        assert picks.min() >= 0 and picks.max() < 64
+        top_share = (picks == 0).sum() / picks.size
+        assert top_share > 1.5 / 64  # clearly above the uniform share
+
+    def test_make_schedule_round_robins_tenants(self):
+        pool = ["AAAA", "CCCC", "GGGG"]
+        schedule = make_schedule(
+            [0.0, 0.1, 0.2, 0.3], pool, tenants=2, queries_per_arrival=2, seed=0
+        )
+        assert [arrival.tenant for arrival in schedule] == [
+            "tenant-0", "tenant-1", "tenant-0", "tenant-1",
+        ]
+        assert all(len(arrival.queries) == 2 for arrival in schedule)
+        assert all(query in pool for arrival in schedule for query in arrival.queries)
+
+    def test_open_loop_end_to_end(self, serving_stack):
+        """A real open-loop run at toy scale: everything accepted must
+        complete with finite latencies; offered == accepted + rejected."""
+        reference, backend, accelerator = serving_stack
+        pool = sample_query_pool(reference, pool_size=32, length=14, seed=0)
+        schedule = make_schedule(
+            poisson_schedule(rate=300.0, duration=0.2, seed=1),
+            pool,
+            tenants=2,
+            queries_per_arrival=2,
+            seed=1,
+        )
+        service = QueryService(
+            QueryEngine(backend), accelerator, ServingConfig(max_delay=0.005, window=2)
+        )
+        with service:
+            result = run_open_loop(service, schedule, result_timeout=TIMEOUT)
+        assert result.offered == result.accepted + result.rejected
+        assert result.accepted > 0
+        assert service.stats.completed == result.accepted
+        p99 = service.stats.latency_percentile(99)
+        assert math.isfinite(p99) and p99 > 0
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 0) == 1.0
+        assert math.isnan(percentile([], 99))
+        with pytest.raises(ValueError):
+            percentile(values, 101)

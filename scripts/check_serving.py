@@ -6,15 +6,30 @@ open-loop load, mirroring ``check_window_capacity.py`` /
 ``check_accel_replay.py`` for the serving trajectory:
 
 * both recorded arrival processes (``poisson`` and ``bursty``) are
-  present and each accepted at least one query;
+  present — for every recorded worker count — and each row accepted at
+  least one query;
 * every accepted query completed — the service must not wedge or drop
   admitted work;
 * the tail is real: p50/p99/max latency are finite and positive (an
   empty latency list records ``NaN``, which fails here by design);
-* sustained throughput stays above a floor (Mbase/s over wall clock; the
-  optional second argument overrides the toy-scale default);
+* sustained throughput stays above a floor (Mbase/s over wall clock;
+  ``--min-mbase`` or the optional positional overrides the toy-scale
+  default);
 * backpressure accounting is coherent: rejections never exceed offered
   load, and any rejection carries a positive ``retry_after`` hint.
+
+When the record carries a saturation sweep (``sweep``), additionally:
+
+* every curve's **top rung rejected work** — a ladder that never
+  overloads the service proves nothing about where the knee is;
+* per rung: completed == accepted, rejections ≤ offered, and any
+  rejection carries a positive ``retry_after``;
+* the knee rung's sustained throughput and tails are finite.
+
+With ``--require-worker-scaling`` (the multicore CI leg), also asserts
+that for each arrival process the **workers=2 curve sustains strictly
+more Mbase/s at its knee than workers=1** — the scale-out must actually
+move the saturation point, not just burn threads.
 
 Exit codes: 0 when the invariants hold, 1 on a violation, 2 on
 malformed input.
@@ -22,6 +37,7 @@ malformed input.
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import sys
@@ -35,59 +51,178 @@ DEFAULT_MIN_MBASE_PER_SECOND = 0.001
 REQUIRED_ARRIVALS = ("poisson", "bursty")
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) not in (2, 3):
-        print(f"usage: {argv[0]} BENCH_serving.json [min_mbase_per_second]", file=sys.stderr)
-        return 2
-    floor = float(argv[2]) if len(argv) == 3 else DEFAULT_MIN_MBASE_PER_SECOND
-    with open(argv[1], encoding="utf-8") as handle:
-        report = json.load(handle)
-    rows = {row.get("arrival"): row for row in report.get("rows", [])}
-    if not rows:
-        print("no serving rows recorded", file=sys.stderr)
-        return 2
+def _finite_positive(value) -> bool:
+    return value is not None and math.isfinite(value) and value > 0
 
-    for arrival, row in rows.items():
+
+def check_rows(rows: list[dict], floor: float, failures: list[str]) -> None:
+    """The headline-row invariants (one row per workers × arrival)."""
+    seen = {(row.get("arrival"), row.get("workers", 1)) for row in rows}
+    for workers in sorted({workers for _, workers in seen}):
+        for arrival in REQUIRED_ARRIVALS:
+            if (arrival, workers) not in seen:
+                failures.append(
+                    f"workers={workers}: missing required arrival process {arrival!r}"
+                )
+
+    for row in rows:
+        label = f"{row.get('arrival')} x{row.get('workers', 1)}"
         print(
-            f"{arrival:>8s}  accepted={row.get('accepted', 0):>6d}  "
+            f"{label:>12s}  accepted={row.get('accepted', 0):>6d}  "
             f"rejected={row.get('rejected', 0):>5d}  "
             f"sustained={row.get('mbase_per_second', float('nan')):8.4f} Mbase/s  "
             f"p50={row.get('p50_ms', float('nan')):7.2f} ms  "
             f"p99={row.get('p99_ms', float('nan')):7.2f} ms"
         )
-
-    failures = []
-    for arrival in REQUIRED_ARRIVALS:
-        if arrival not in rows:
-            failures.append(f"missing required arrival process {arrival!r}")
-    for arrival, row in rows.items():
         if row.get("accepted", 0) <= 0:
-            failures.append(f"{arrival}: no queries accepted")
+            failures.append(f"{label}: no queries accepted")
             continue
         if row.get("completed", 0) != row.get("accepted", 0):
             failures.append(
-                f"{arrival}: completed {row.get('completed')} != accepted "
+                f"{label}: completed {row.get('completed')} != accepted "
                 f"{row.get('accepted')} (service dropped admitted work)"
             )
         for key in ("p50_ms", "p99_ms", "max_ms"):
-            value = row.get(key)
-            if value is None or not math.isfinite(value) or value <= 0:
-                failures.append(f"{arrival}: {key}={value!r} is not finite and positive")
+            if not _finite_positive(row.get(key)):
+                failures.append(f"{label}: {key}={row.get(key)!r} is not finite and positive")
         sustained = row.get("mbase_per_second")
         if sustained is None or not math.isfinite(sustained) or sustained < floor:
             failures.append(
-                f"{arrival}: sustained throughput {sustained!r} Mbase/s below the "
+                f"{label}: sustained throughput {sustained!r} Mbase/s below the "
                 f"{floor} floor"
             )
         if row.get("rejected", 0) > row.get("submitted", 0):
             failures.append(
-                f"{arrival}: rejected {row.get('rejected')} exceeds submitted "
+                f"{label}: rejected {row.get('rejected')} exceeds submitted "
                 f"{row.get('submitted')}"
             )
         if row.get("rejected", 0) > 0 and row.get("mean_retry_after_s", 0.0) <= 0:
             failures.append(
-                f"{arrival}: rejections recorded without a positive retry_after hint"
+                f"{label}: rejections recorded without a positive retry_after hint"
             )
+
+
+def check_sweep(sweep: dict, require_worker_scaling: bool, failures: list[str]) -> None:
+    """The saturation-sweep invariants (knee reached, coherent rungs)."""
+    curves = sweep.get("curves", [])
+    if not curves:
+        failures.append("sweep recorded with no curves")
+        return
+
+    knees: dict[tuple[str, int], float] = {}
+    for curve in curves:
+        arrival = curve.get("arrival")
+        workers = curve.get("workers", 1)
+        label = f"sweep {arrival} x{workers}"
+        rungs = curve.get("rungs", [])
+        if not rungs:
+            failures.append(f"{label}: no rungs recorded")
+            continue
+        knee_index = curve.get("knee_index", 0)
+        if not 0 <= knee_index < len(rungs):
+            failures.append(f"{label}: knee_index {knee_index} out of range")
+            continue
+        knee = rungs[knee_index]
+        knees[(arrival, workers)] = knee.get("mbase_per_second", float("nan"))
+        print(
+            f"{label:>20s}  knee={knee.get('offered_qps', float('nan')):8.0f} qps  "
+            f"sustained={knee.get('mbase_per_second', float('nan')):8.4f} Mbase/s  "
+            f"top-rung rejected={rungs[-1].get('rejected', 0)}"
+        )
+        if rungs[-1].get("rejected", 0) <= 0:
+            failures.append(
+                f"{label}: top rung never rejected — the ladder did not reach "
+                "saturation, so the knee is unproven (raise the multipliers or "
+                "tighten the sweep queue capacity)"
+            )
+        if not _finite_positive(knee.get("mbase_per_second")):
+            failures.append(
+                f"{label}: knee sustained throughput "
+                f"{knee.get('mbase_per_second')!r} is not finite and positive"
+            )
+        for key in ("p50_ms", "p99_ms"):
+            if not _finite_positive(knee.get(key)):
+                failures.append(f"{label}: knee {key}={knee.get(key)!r} is not finite and positive")
+        for rung in rungs:
+            rung_label = f"{label} @ {rung.get('offered_qps', float('nan')):.0f} qps"
+            if rung.get("completed", 0) != rung.get("accepted", 0):
+                failures.append(
+                    f"{rung_label}: completed {rung.get('completed')} != accepted "
+                    f"{rung.get('accepted')}"
+                )
+            if rung.get("rejected", 0) > rung.get("submitted", 0):
+                failures.append(
+                    f"{rung_label}: rejected {rung.get('rejected')} exceeds "
+                    f"submitted {rung.get('submitted')}"
+                )
+            if rung.get("rejected", 0) > 0 and rung.get("mean_retry_after_s", 0.0) <= 0:
+                failures.append(
+                    f"{rung_label}: rejections without a positive retry_after hint"
+                )
+
+    if require_worker_scaling:
+        for arrival in REQUIRED_ARRIVALS:
+            one = knees.get((arrival, 1))
+            two = knees.get((arrival, 2))
+            if one is None or two is None:
+                failures.append(
+                    f"sweep {arrival}: --require-worker-scaling needs both the "
+                    "workers=1 and workers=2 curves"
+                )
+                continue
+            if not (math.isfinite(one) and math.isfinite(two) and two > one):
+                failures.append(
+                    f"sweep {arrival}: workers=2 knee sustained {two!r} Mbase/s "
+                    f"is not strictly above workers=1 ({one!r}) — the worker "
+                    "pool did not scale the saturation point"
+                )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="BENCH_serving.json path")
+    parser.add_argument(
+        "floor",
+        nargs="?",
+        type=float,
+        default=None,
+        help="sustained-throughput floor in Mbase/s (positional, legacy)",
+    )
+    parser.add_argument(
+        "--min-mbase",
+        type=float,
+        default=None,
+        help=f"sustained-throughput floor in Mbase/s (default {DEFAULT_MIN_MBASE_PER_SECOND})",
+    )
+    parser.add_argument(
+        "--require-worker-scaling",
+        action="store_true",
+        help="assert the workers=2 knee sustains strictly more than workers=1 "
+        "per arrival process (multicore CI leg only)",
+    )
+    args = parser.parse_args(argv[1:])
+    floor = args.min_mbase if args.min_mbase is not None else args.floor
+    if floor is None:
+        floor = DEFAULT_MIN_MBASE_PER_SECOND
+
+    try:
+        with open(args.record, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {args.record}: {error}", file=sys.stderr)
+        return 2
+    rows = report.get("rows", [])
+    if not rows:
+        print("no serving rows recorded", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    check_rows(rows, floor, failures)
+    sweep = report.get("sweep")
+    if sweep is not None:
+        check_sweep(sweep, args.require_worker_scaling, failures)
+    elif args.require_worker_scaling:
+        failures.append("--require-worker-scaling set but the record has no sweep")
 
     if failures:
         for failure in failures:

@@ -155,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the per-flush accelerator replay (search-only service)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="batcher workers draining the shared admission queue",
+    )
     _add_serving_flags(serve)
     _add_sharding_flags(serve)
 
@@ -181,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--zipf-s", type=float, default=1.1, help="Zipf skew exponent of the query pool"
+    )
+    bench.add_argument(
+        "--workers",
+        default="1",
+        help="comma-separated batcher worker counts to sweep (e.g. 1,2,4)",
+    )
+    bench.add_argument(
+        "--rate-sweep",
+        default=None,
+        metavar="MULTIPLIERS",
+        help="comma-separated offered-load multipliers of --rate (e.g. "
+        "1,2,4,8,16); runs the saturation sweep to the knee and records "
+        "the rejection/latency-vs-load curves alongside the headline rows",
+    )
+    bench.add_argument(
+        "--sweep-duration",
+        type=float,
+        default=0.5,
+        help="offered-load horizon in seconds per saturation rung",
+    )
+    bench.add_argument(
+        "--sweep-queue-capacity",
+        type=int,
+        default=512,
+        help="admission-queue bound during the saturation sweep (tighter "
+        "than --queue-capacity so the top rung actually saturates)",
     )
     bench.add_argument(
         "--json",
@@ -420,11 +452,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         queue_capacity=args.queue_capacity,
         window=args.window,
+        workers=args.workers,
     )
     print(
         f"serving: reference {len(reference):,} bp, k={args.step}, "
         f"batch<={config.max_batch} @ {config.max_delay * 1e3:.1f} ms, "
-        f"W={config.window}, queue<={config.queue_capacity}"
+        f"W={config.window}, queue<={config.queue_capacity}, "
+        f"workers={config.workers}"
         + ("" if accelerator else ", search-only")
     )
     submissions = []
@@ -454,9 +488,21 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(text: str, cast, flag: str) -> tuple:
+    """Parse a comma-separated CLI value like ``1,2,4`` into a tuple."""
+    try:
+        values = tuple(cast(part.strip()) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"invalid {flag} value: {text!r}")
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return values
+
+
 def _run_serving_bench(args: argparse.Namespace) -> int:
     from . import experiments as ex
 
+    workers = _parse_csv(args.workers, int, "--workers")
     result = ex.run_serving_bench(
         genome_length=args.genome_length,
         seed=args.seed,
@@ -472,10 +518,33 @@ def _run_serving_bench(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         window=args.window,
         queue_capacity=args.queue_capacity,
+        workers=workers,
     )
     print(ex.format_serving(result))
+    saturation = None
+    if args.rate_sweep:
+        multipliers = _parse_csv(args.rate_sweep, float, "--rate-sweep")
+        saturation = ex.run_saturation_sweep(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            base_rate=args.rate,
+            multipliers=multipliers,
+            duration=args.sweep_duration,
+            tenants=args.tenants,
+            queries_per_arrival=args.queries_per_arrival,
+            query_length=args.query_length,
+            pool_size=args.pool_size,
+            zipf_s=args.zipf_s,
+            k=args.step,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            window=args.window,
+            queue_capacity=args.sweep_queue_capacity,
+            workers=workers,
+        )
+        print(ex.format_saturation(saturation))
     if args.json:
-        ex.write_serving_json(args.json, result)
+        ex.write_serving_json(args.json, result, saturation=saturation)
         print(f"wrote {args.json}")
     if any(row.completed < row.accepted for row in result.rows):
         print("ERROR: accepted queries did not all complete")

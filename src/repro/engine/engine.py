@@ -161,6 +161,18 @@ class QueryEngine(WorkerPoolOwner):
         """Build an engine over *reference* using a registered backend."""
         return cls(name=name, reference=reference, **kwargs)
 
+    def clone(self) -> "QueryEngine":
+        """A new engine of the same type over the same backend.
+
+        Backends are read-only after construction (their lazy caches are
+        idempotent), so clones can search concurrently from separate
+        threads — which is how the serving layer gives every batcher
+        worker its own engine (and persistent worker pool) without
+        duplicating the index.  The clone inherits this engine's pinned
+        ``shards``/``executor`` settings but never its pool.
+        """
+        return type(self)(self._backend, shards=self._shards, executor=self._executor)
+
     @property
     def backend(self) -> SearchBackend:
         """The backend answering this engine's batches."""

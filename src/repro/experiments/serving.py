@@ -1,32 +1,39 @@
 """Serving benchmark — sustained throughput *and* tail latency under
-open-loop load.
+open-loop load, plus the offered-load saturation sweep.
 
 The batch-harness figures measure how fast the accelerator model chews
 through a pre-materialised stream; a serving system is judged on what it
 *sustains* while clients keep arriving: throughput, p50/p99 latency and
 backpressure behaviour, reported together the way the SPEChpc benchmarking
-papers record sustained rates next to their scaling trajectories.  This
-harness drives a :class:`~repro.serving.service.QueryService` with the
-open-loop generator (:mod:`repro.serving.loadgen`) under both a Poisson
-and a bursty arrival process, Zipf-skewed queries from a shared pool,
-multi-tenant round-robin offering — and records one row per arrival
-process into ``BENCH_serving.json`` (gated at toy scale by
-``scripts/check_serving.py`` in the CI bench-smoke leg):
+papers record sustained rates next to their scaling trajectories.  Two
+harnesses share one stack (index, accelerator, Zipf query pool):
 
-* **sustained Mbase/s** — bases processed by the flush replays divided by
-  the *wall-clock* span of the run (arrival of the first query to
-  completion of the last), i.e. what a client population actually
-  experienced, not what the model could have done in isolation;
-* **p50/p95/p99/max latency** — arrival → flush-replay completion per
-  query, nearest-rank percentiles;
-* **admission accounting** — accepted/rejected counts and the mean
-  ``retry_after`` hint handed to bounced clients.
+* :func:`run_serving_bench` — the headline rows: one
+  :class:`~repro.serving.service.QueryService` per (workers, arrival
+  process) cell driven by the open-loop generator
+  (:mod:`repro.serving.loadgen`) at a fixed offered rate, recording
+  sustained Mbase/s, p50/p95/p99/max latency and admission accounting;
+* :func:`run_saturation_sweep` — the knee study: for each worker count
+  and arrival process, walk a **multiplicative rate ladder**
+  (:func:`~repro.serving.loadgen.rate_ladder`) and record the
+  rejection-rate and latency-vs-load curve.  The **knee** is the last
+  rung the service absorbs with its rejection rate under the threshold;
+  the sweep only proves saturation was *reached* when the top rung
+  actually rejects (``saturated``), which ``scripts/check_serving.py``
+  gates on — a ladder that never overloads the service measures nothing.
+
+Both land in ``BENCH_serving.json`` (rows + ``sweep``), gated at toy
+scale by ``scripts/check_serving.py`` in the CI bench-smoke leg and at
+multicore scale — where workers=2 must sustain strictly more than
+workers=1 at the knee — in the tests-multicore leg.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..accel.config import exma_full_config
 from ..accel.exma_accelerator import ExmaAccelerator
@@ -39,7 +46,9 @@ from ..serving import (
     ServingConfig,
     bursty_schedule,
     make_schedule,
+    percentile,
     poisson_schedule,
+    rate_ladder,
     run_open_loop,
     sample_query_pool,
 )
@@ -47,9 +56,14 @@ from .common import DEFAULT_STEP
 from .fig18_throughput import _scaled_config
 
 __all__ = [
+    "SaturationCurve",
+    "SaturationRung",
+    "SaturationStudy",
     "ServingBenchResult",
     "ServingBenchRow",
+    "format_saturation",
     "format_serving",
+    "run_saturation_sweep",
     "run_serving_bench",
     "serving_report",
     "write_serving_json",
@@ -58,12 +72,20 @@ __all__ = [
 #: Arrival processes the benchmark sweeps, in recording order.
 ARRIVALS = ("poisson", "bursty")
 
+#: Worker counts the saturation study sweeps by default.
+DEFAULT_WORKERS = (1, 2, 4)
+
+#: A rung whose rejection rate stays under this fraction counts as
+#: absorbed; the knee is the last absorbed rung of the ladder.
+KNEE_REJECTION_THRESHOLD = 0.01
+
 
 @dataclass(frozen=True)
 class ServingBenchRow:
-    """One arrival process' sustained-load measurement."""
+    """One (workers, arrival process) sustained-load measurement."""
 
     arrival: str
+    workers: int
     #: Offered load: arrivals/s × queries per arrival.
     offered_qps: float
     duration_s: float
@@ -92,7 +114,7 @@ class ServingBenchRow:
 
 @dataclass(frozen=True)
 class ServingBenchResult:
-    """Both arrival-process rows plus the workload shape."""
+    """All (workers × arrival) rows plus the workload shape."""
 
     rows: list[ServingBenchRow]
     genome_length: int
@@ -108,6 +130,101 @@ class ServingBenchResult:
     max_delay: float
     window: int
     queue_capacity: int
+    workers: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SaturationRung:
+    """One rung of the offered-load ladder for one (workers, arrival)."""
+
+    rate: float
+    offered_qps: float
+    submitted: int
+    accepted: int
+    rejected: int
+    completed: int
+    wall_seconds: float
+    mbase_per_second: float
+    p50_ms: float
+    p99_ms: float
+    mean_retry_after_s: float
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered queries bounced by backpressure."""
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+
+@dataclass(frozen=True)
+class SaturationCurve:
+    """One (workers, arrival) rejection/latency-vs-load curve."""
+
+    arrival: str
+    workers: int
+    rungs: list[SaturationRung]
+    #: Rung index of the knee: the last rung whose rejection rate stays
+    #: under the threshold (0 when even the first rung rejects more).
+    knee_index: int
+
+    @property
+    def knee(self) -> SaturationRung:
+        """The knee rung — the highest absorbed offered load."""
+        return self.rungs[self.knee_index]
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the ladder actually drove the service past the knee
+        (the top rung rejected work); False means the sweep never reached
+        saturation and the knee is a lower bound only."""
+        return self.rungs[-1].rejected > 0
+
+
+@dataclass(frozen=True)
+class SaturationStudy:
+    """The full sweep: curves for every (workers, arrival) pair."""
+
+    curves: list[SaturationCurve]
+    base_rate: float
+    multipliers: tuple[float, ...]
+    duration: float
+    queue_capacity: int
+    knee_rejection_threshold: float
+
+    def curve(self, arrival: str, workers: int) -> SaturationCurve:
+        """The curve of one (arrival, workers) pair."""
+        for candidate in self.curves:
+            if candidate.arrival == arrival and candidate.workers == workers:
+                return candidate
+        raise KeyError(f"no curve for arrival={arrival!r}, workers={workers}")
+
+
+def _build_stack(genome_length, seed, k, query_length, pool_size):
+    """One shared index/accelerator/pool for every service the harness runs."""
+    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
+    table = ExmaTable(reference.sequence, k=k)
+    backend = ExmaBackend(table=table)
+    accelerator = ExmaAccelerator(table, None, _scaled_config(exma_full_config()))
+    pool = sample_query_pool(
+        reference.sequence, pool_size=pool_size, length=query_length, seed=seed
+    )
+    return table, backend, accelerator, pool
+
+
+def _schedule(arrival, rate, duration, seed, pool, tenants, queries_per_arrival, zipf_s):
+    if arrival == "poisson":
+        offsets = poisson_schedule(rate, duration, seed=seed)
+    elif arrival == "bursty":
+        offsets = bursty_schedule(rate, duration, seed=seed)
+    else:
+        raise ValueError(f"unknown arrival process {arrival!r}; known: {ARRIVALS}")
+    return make_schedule(
+        offsets,
+        pool,
+        tenants=tenants,
+        queries_per_arrival=queries_per_arrival,
+        zipf_s=zipf_s,
+        seed=seed,
+    )
 
 
 def run_serving_bench(
@@ -126,82 +243,76 @@ def run_serving_bench(
     window: int = 2,
     queue_capacity: int = 4096,
     arrivals: tuple[str, ...] = ARRIVALS,
+    workers: Sequence[int] | int = (1,),
 ) -> ServingBenchResult:
     """Measure the serving layer under open-loop Poisson and bursty load.
 
     One index, one accelerator model; a fresh :class:`~repro.serving
-    .service.QueryService` per arrival process so the stats and latencies
-    are per-row.  Rejected arrivals are counted, not retried — open loop.
+    .service.QueryService` per (workers, arrival process) cell so the
+    stats and latencies are per-row.  Rejected arrivals are counted, not
+    retried — open loop.
     """
-    reference = build_dataset("human", simulated_length=genome_length, seed=seed)
-    table = ExmaTable(reference.sequence, k=k)
-    backend = ExmaBackend(table=table)
-    accelerator = ExmaAccelerator(table, None, _scaled_config(exma_full_config()))
-    pool = sample_query_pool(
-        reference.sequence, pool_size=pool_size, length=query_length, seed=seed
-    )
-    config = ServingConfig(
-        max_batch=max_batch,
-        max_delay=max_delay,
-        queue_capacity=queue_capacity,
-        window=window,
+    if isinstance(workers, int):
+        workers = (workers,)
+    workers = tuple(int(count) for count in workers)
+    _, backend, accelerator, pool = _build_stack(
+        genome_length, seed, k, query_length, pool_size
     )
 
     rows = []
-    for index, arrival in enumerate(arrivals):
-        if arrival == "poisson":
-            offsets = poisson_schedule(rate, duration, seed=seed + index)
-        elif arrival == "bursty":
-            offsets = bursty_schedule(rate, duration, seed=seed + index)
-        else:
-            raise ValueError(f"unknown arrival process {arrival!r}; known: {ARRIVALS}")
-        schedule = make_schedule(
-            offsets,
-            pool,
-            tenants=tenants,
-            queries_per_arrival=queries_per_arrival,
-            zipf_s=zipf_s,
-            seed=seed + index,
+    for worker_count in workers:
+        config = ServingConfig(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            queue_capacity=queue_capacity,
+            window=window,
+            workers=worker_count,
         )
-        service = QueryService(QueryEngine(backend), accelerator, config)
-        with service:
-            loop = run_open_loop(service, schedule)
-        stats = service.stats
-        replay = service.result()
-        latencies_ms = [latency * 1e3 for latency in stats.latencies]
-        wall = max(loop.wall_seconds, 1e-12)
-        retry_afters = loop.retry_afters
-        rows.append(
-            ServingBenchRow(
-                arrival=arrival,
-                offered_qps=rate * queries_per_arrival,
-                duration_s=duration,
-                submitted=loop.offered,
-                accepted=loop.accepted,
-                rejected=loop.rejected,
-                completed=stats.completed,
-                batches=stats.batches,
-                flushes=stats.flushes,
-                merge_ratio=replay.merge_ratio,
-                scheduled_requests=replay.requests,
-                bases_processed=replay.bases_processed,
-                wall_seconds=loop.wall_seconds,
-                mbase_per_second=replay.bases_processed / wall / 1e6,
-                model_mbase_per_second=replay.throughput.mbase_per_second,
-                p50_ms=_percentile(latencies_ms, 50.0),
-                p95_ms=_percentile(latencies_ms, 95.0),
-                p99_ms=_percentile(latencies_ms, 99.0),
-                max_ms=max(latencies_ms) if latencies_ms else float("nan"),
-                mean_retry_after_s=(
-                    sum(retry_afters) / len(retry_afters) if retry_afters else 0.0
-                ),
+        for index, arrival in enumerate(arrivals):
+            schedule = _schedule(
+                arrival, rate, duration, seed + index, pool,
+                tenants, queries_per_arrival, zipf_s,
             )
-        )
+            service = QueryService(QueryEngine(backend), accelerator, config)
+            with service:
+                loop = run_open_loop(service, schedule)
+            stats = service.stats
+            replay = service.result()
+            latencies_ms = [latency * 1e3 for latency in stats.latencies]
+            wall = max(loop.wall_seconds, 1e-12)
+            retry_afters = loop.retry_afters
+            rows.append(
+                ServingBenchRow(
+                    arrival=arrival,
+                    workers=worker_count,
+                    offered_qps=rate * queries_per_arrival,
+                    duration_s=duration,
+                    submitted=loop.offered,
+                    accepted=loop.accepted,
+                    rejected=loop.rejected,
+                    completed=stats.completed,
+                    batches=stats.batches,
+                    flushes=stats.flushes,
+                    merge_ratio=replay.merge_ratio,
+                    scheduled_requests=replay.requests,
+                    bases_processed=replay.bases_processed,
+                    wall_seconds=loop.wall_seconds,
+                    mbase_per_second=replay.bases_processed / wall / 1e6,
+                    model_mbase_per_second=replay.throughput.mbase_per_second,
+                    p50_ms=percentile(latencies_ms, 50.0),
+                    p95_ms=percentile(latencies_ms, 95.0),
+                    p99_ms=percentile(latencies_ms, 99.0),
+                    max_ms=max(latencies_ms) if latencies_ms else float("nan"),
+                    mean_retry_after_s=(
+                        sum(retry_afters) / len(retry_afters) if retry_afters else 0.0
+                    ),
+                )
+            )
 
     return ServingBenchResult(
         rows=rows,
         genome_length=genome_length,
-        k=table.k,
+        k=DEFAULT_STEP if k is None else k,
         rate=rate,
         duration=duration,
         tenants=tenants,
@@ -213,13 +324,110 @@ def run_serving_bench(
         max_delay=max_delay,
         window=window,
         queue_capacity=queue_capacity,
+        workers=workers,
     )
 
 
-def _percentile(values: list[float], q: float) -> float:
-    from ..serving import percentile
+def run_saturation_sweep(
+    genome_length: int = 20_000,
+    seed: int = 0,
+    base_rate: float = 500.0,
+    multipliers: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    duration: float = 0.5,
+    tenants: int = 4,
+    queries_per_arrival: int = 4,
+    query_length: int = 28,
+    pool_size: int = 512,
+    zipf_s: float = 1.1,
+    k: int = DEFAULT_STEP,
+    max_batch: int = 64,
+    max_delay: float = 0.005,
+    window: int = 2,
+    queue_capacity: int = 512,
+    arrivals: tuple[str, ...] = ARRIVALS,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    knee_rejection_threshold: float = KNEE_REJECTION_THRESHOLD,
+) -> SaturationStudy:
+    """Walk the offered-load ladder to the knee for every worker count.
 
-    return percentile(values, q)
+    Every (workers, arrival, rung) cell runs a fresh service against the
+    same index/accelerator/pool, open-loop; the schedule of a given
+    (arrival, rung) is identical across worker counts, so the curves are
+    directly comparable.  The default ``queue_capacity`` is deliberately
+    tighter than the headline bench — the sweep must drive the queue past
+    its bound at the top rung (``SaturationCurve.saturated``) or the knee
+    was never reached and the sweep is reported as inconclusive.
+    """
+    workers = tuple(int(count) for count in workers)
+    rates = rate_ladder(base_rate, multipliers)
+    _, backend, accelerator, pool = _build_stack(
+        genome_length, seed, k, query_length, pool_size
+    )
+
+    curves = []
+    for worker_count in workers:
+        config = ServingConfig(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            queue_capacity=queue_capacity,
+            window=window,
+            workers=worker_count,
+        )
+        for index, arrival in enumerate(arrivals):
+            rungs = []
+            for rung_index, rate in enumerate(rates):
+                schedule = _schedule(
+                    arrival, rate, duration, seed + index + 101 * rung_index,
+                    pool, tenants, queries_per_arrival, zipf_s,
+                )
+                service = QueryService(QueryEngine(backend), accelerator, config)
+                with service:
+                    loop = run_open_loop(service, schedule)
+                stats = service.stats
+                replay = service.result()
+                latencies_ms = [latency * 1e3 for latency in stats.latencies]
+                wall = max(loop.wall_seconds, 1e-12)
+                retry_afters = loop.retry_afters
+                rungs.append(
+                    SaturationRung(
+                        rate=rate,
+                        offered_qps=rate * queries_per_arrival,
+                        submitted=loop.offered,
+                        accepted=loop.accepted,
+                        rejected=loop.rejected,
+                        completed=stats.completed,
+                        wall_seconds=loop.wall_seconds,
+                        mbase_per_second=replay.bases_processed / wall / 1e6,
+                        p50_ms=percentile(latencies_ms, 50.0),
+                        p99_ms=percentile(latencies_ms, 99.0),
+                        mean_retry_after_s=(
+                            sum(retry_afters) / len(retry_afters)
+                            if retry_afters
+                            else 0.0
+                        ),
+                    )
+                )
+            knee_index = 0
+            for rung_index, rung in enumerate(rungs):
+                if rung.rejection_rate <= knee_rejection_threshold:
+                    knee_index = rung_index
+            curves.append(
+                SaturationCurve(
+                    arrival=arrival,
+                    workers=worker_count,
+                    rungs=rungs,
+                    knee_index=knee_index,
+                )
+            )
+
+    return SaturationStudy(
+        curves=curves,
+        base_rate=base_rate,
+        multipliers=tuple(float(multiplier) for multiplier in multipliers),
+        duration=duration,
+        queue_capacity=queue_capacity,
+        knee_rejection_threshold=knee_rejection_threshold,
+    )
 
 
 def format_serving(result: ServingBenchResult) -> str:
@@ -229,26 +437,61 @@ def format_serving(result: ServingBenchResult) -> str:
         f"(human {result.genome_length:,} bp, k={result.k}, "
         f"{result.rate:.0f} arrivals/s x {result.queries_per_arrival} queries, "
         f"{result.tenants} tenants, W={result.window}, "
-        f"batch<={result.max_batch} @ {result.max_delay * 1e3:.1f} ms)"
+        f"batch<={result.max_batch} @ {result.max_delay * 1e3:.1f} ms, "
+        f"workers {list(result.workers)})"
     ]
     lines.append(
-        f"{'arrival':>8s} {'offered':>8s} {'accept':>7s} {'reject':>7s} "
+        f"{'arrival':>8s} {'wrk':>4s} {'offered':>8s} {'accept':>7s} {'reject':>7s} "
         f"{'batches':>8s} {'flushes':>8s} {'merge':>6s} {'Mbase/s':>8s} "
         f"{'p50 ms':>7s} {'p99 ms':>7s} {'max ms':>7s}"
     )
     for row in result.rows:
         lines.append(
-            f"{row.arrival:>8s} {row.submitted:8d} {row.accepted:7d} {row.rejected:7d} "
-            f"{row.batches:8d} {row.flushes:8d} {row.merge_ratio:5.2f}x "
+            f"{row.arrival:>8s} {row.workers:4d} {row.submitted:8d} {row.accepted:7d} "
+            f"{row.rejected:7d} {row.batches:8d} {row.flushes:8d} {row.merge_ratio:5.2f}x "
             f"{row.mbase_per_second:8.3f} {row.p50_ms:7.2f} {row.p99_ms:7.2f} "
             f"{row.max_ms:7.2f}"
         )
     return "\n".join(lines)
 
 
-def serving_report(result: ServingBenchResult, **workload) -> dict:
+def format_saturation(study: SaturationStudy) -> str:
+    """Render the saturation sweep: one block per (arrival, workers)."""
+    lines = [
+        "Saturation - offered-load ladder to the knee "
+        f"(base {study.base_rate:.0f} arrivals/s x {list(study.multipliers)}, "
+        f"{study.duration:.2f}s per rung, queue<={study.queue_capacity}, "
+        f"knee at <={study.knee_rejection_threshold:.0%} rejected)"
+    ]
+    for curve in study.curves:
+        knee = curve.knee
+        lines.append(
+            f"  {curve.arrival} x {curve.workers} worker(s): knee "
+            f"{knee.offered_qps:.0f} qps @ {knee.mbase_per_second:.3f} Mbase/s"
+            + ("" if curve.saturated else "  [top rung never rejected]")
+        )
+        lines.append(
+            f"    {'offered':>8s} {'accept':>7s} {'reject':>7s} {'rej%':>6s} "
+            f"{'Mbase/s':>8s} {'p50 ms':>7s} {'p99 ms':>7s} {'retry s':>8s}"
+        )
+        for rung_index, rung in enumerate(curve.rungs):
+            marker = " <- knee" if rung_index == curve.knee_index else ""
+            lines.append(
+                f"    {rung.offered_qps:8.0f} {rung.accepted:7d} {rung.rejected:7d} "
+                f"{rung.rejection_rate:6.1%} {rung.mbase_per_second:8.3f} "
+                f"{rung.p50_ms:7.2f} {rung.p99_ms:7.2f} "
+                f"{rung.mean_retry_after_s:8.4f}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def serving_report(
+    result: ServingBenchResult,
+    saturation: SaturationStudy | None = None,
+    **workload,
+) -> dict:
     """The benchmark as a JSON-ready record (``BENCH_serving.json``)."""
-    return {
+    report = {
         "benchmark": "serving",
         "workload": {
             "genome_length": result.genome_length,
@@ -264,11 +507,14 @@ def serving_report(result: ServingBenchResult, **workload) -> dict:
             "max_delay_s": result.max_delay,
             "window": result.window,
             "queue_capacity": result.queue_capacity,
+            "workers": list(result.workers),
+            "host_cpus": os.cpu_count(),
             **dict(workload),
         },
         "rows": [
             {
                 "arrival": row.arrival,
+                "workers": row.workers,
                 "offered_qps": row.offered_qps,
                 "duration_s": row.duration_s,
                 "submitted": row.submitted,
@@ -292,11 +538,53 @@ def serving_report(result: ServingBenchResult, **workload) -> dict:
             for row in result.rows
         ],
     }
+    if saturation is not None:
+        report["sweep"] = {
+            "base_rate": saturation.base_rate,
+            "multipliers": list(saturation.multipliers),
+            "duration_s": saturation.duration,
+            "queue_capacity": saturation.queue_capacity,
+            "knee_rejection_threshold": saturation.knee_rejection_threshold,
+            "curves": [
+                {
+                    "arrival": curve.arrival,
+                    "workers": curve.workers,
+                    "knee_index": curve.knee_index,
+                    "knee_offered_qps": curve.knee.offered_qps,
+                    "knee_mbase_per_second": round(curve.knee.mbase_per_second, 6),
+                    "saturated": curve.saturated,
+                    "rungs": [
+                        {
+                            "rate": rung.rate,
+                            "offered_qps": rung.offered_qps,
+                            "submitted": rung.submitted,
+                            "accepted": rung.accepted,
+                            "rejected": rung.rejected,
+                            "rejection_rate": round(rung.rejection_rate, 6),
+                            "completed": rung.completed,
+                            "wall_seconds": round(rung.wall_seconds, 6),
+                            "mbase_per_second": round(rung.mbase_per_second, 6),
+                            "p50_ms": round(rung.p50_ms, 4),
+                            "p99_ms": round(rung.p99_ms, 4),
+                            "mean_retry_after_s": round(rung.mean_retry_after_s, 6),
+                        }
+                        for rung in curve.rungs
+                    ],
+                }
+                for curve in saturation.curves
+            ],
+        }
+    return report
 
 
-def write_serving_json(path: str, result: ServingBenchResult, **workload) -> dict:
+def write_serving_json(
+    path: str,
+    result: ServingBenchResult,
+    saturation: SaturationStudy | None = None,
+    **workload,
+) -> dict:
     """Write :func:`serving_report` to *path*; returns the record."""
-    report = serving_report(result, **workload)
+    report = serving_report(result, saturation=saturation, **workload)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

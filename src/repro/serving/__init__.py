@@ -17,6 +17,7 @@ from .loadgen import (
     bursty_schedule,
     make_schedule,
     poisson_schedule,
+    rate_ladder,
     run_open_loop,
     sample_query_pool,
     zipfian_picks,
@@ -31,10 +32,12 @@ from .service import (
     Ticket,
     percentile,
 )
+from .workers import BatcherWorker
 
 __all__ = [
     "AdmissionRejected",
     "Arrival",
+    "BatcherWorker",
     "OpenLoopResult",
     "QueryOutcome",
     "QueryService",
@@ -46,6 +49,7 @@ __all__ = [
     "make_schedule",
     "percentile",
     "poisson_schedule",
+    "rate_ladder",
     "run_open_loop",
     "sample_query_pool",
     "zipfian_picks",

@@ -41,10 +41,30 @@ __all__ = [
     "bursty_schedule",
     "make_schedule",
     "poisson_schedule",
+    "rate_ladder",
     "run_open_loop",
     "sample_query_pool",
     "zipfian_picks",
 ]
+
+
+def rate_ladder(base_rate: float, multipliers: Sequence[float]) -> list[float]:
+    """The offered-load ladder of a saturation sweep: ``base_rate`` scaled
+    by each multiplier, ascending.
+
+    A *multiplicative* ladder (1, 2, 4, ... × the base rate) is how the
+    sustained-throughput studies walk to the knee: each rung doubles the
+    pressure, so the sweep brackets the saturation point in a handful of
+    runs where a linear ladder would need dozens — and the knee reads off
+    as the last rung the service absorbs without rejecting.
+    """
+    if base_rate <= 0:
+        raise ValueError("base_rate must be > 0")
+    if not multipliers:
+        raise ValueError("at least one multiplier is required")
+    if any(multiplier <= 0 for multiplier in multipliers):
+        raise ValueError("multipliers must be > 0")
+    return sorted(base_rate * multiplier for multiplier in multipliers)
 
 
 @dataclass(frozen=True)

@@ -46,7 +46,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -56,8 +56,8 @@ from ..accel.exma_accelerator import (
     WindowedRunResult,
 )
 from ..engine.engine import QueryEngine
-from ..engine.window import CoalescingWindow
 from ..index.fmindex import Interval
+from .workers import BatcherWorker
 
 __all__ = [
     "AdmissionRejected",
@@ -69,6 +69,13 @@ __all__ = [
     "Ticket",
     "percentile",
 ]
+
+
+#: Smoothing factor of the batch-service-time EWMA feeding
+#: :meth:`QueryService._retry_after` — recent batches dominate (the
+#: backlog drains at today's pace, not the lifetime average) without a
+#: single slow batch whipsawing the estimate.
+_EWMA_ALPHA = 0.2
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -129,6 +136,20 @@ class ServingConfig:
             partially filled coalescing window, so under a traffic lull a
             query waits at most ~``idle_timeout`` for its flush instead
             of indefinitely for ``window`` batches' worth of company.
+        workers: batcher workers draining the shared admission queue
+            concurrently (:class:`~repro.serving.workers.BatcherWorker`).
+            Each worker owns a cloned engine and its own coalescing
+            window; batches are still formed one at a time under the
+            service lock, so fairness and the per-partition offline
+            equivalence are unchanged.
+        stats_retention: how many completed-query latencies (and flush
+            results) the service retains, oldest-first truncation beyond.
+            Percentiles and :meth:`QueryService.result` are exact while
+            the service lifetime stays under the bound — any benchmark
+            run — and cover the most recent ``stats_retention``
+            completions/flushes on an always-on service that outlives it;
+            counters (``completed``, ``flushes``, ...) are never
+            truncated.
         name: label stamped on the accelerator run results.
     """
 
@@ -137,6 +158,8 @@ class ServingConfig:
     queue_capacity: int = 4096
     window: int = 1
     idle_timeout: float = 0.05
+    workers: int = 1
+    stats_retention: int = 200_000
     name: str = "EXMA-serving"
 
     def __post_init__(self) -> None:
@@ -150,6 +173,10 @@ class ServingConfig:
             raise ValueError("window must be >= 1")
         if self.idle_timeout <= 0:
             raise ValueError("idle_timeout must be > 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.stats_retention < 1:
+            raise ValueError("stats_retention must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -168,6 +195,9 @@ class QueryOutcome:
     #: Index of the flush that replayed it (-1 when the service runs
     #: without an accelerator and completes queries at search time).
     flush_index: int
+    #: Index of the batcher worker that served the query (-1 when
+    #: unknown, e.g. outcomes constructed outside the service).
+    worker_index: int = -1
 
     @property
     def latency(self) -> float:
@@ -242,10 +272,21 @@ class TenantQueues:
 
     Admission is bounded globally (``capacity`` queries across all
     tenants).  :meth:`take` fills a batch one query per tenant per turn,
-    walking the tenant ring from just after the tenant served last — the
-    classic round-robin guarantee: with T active tenants, each is due at
-    least ``floor(max_batch / T)`` slots of every batch, regardless of how
-    hard any single tenant floods.  Within a tenant, order stays FIFO.
+    rotating through the ring of *active* tenants from just after the
+    tenant served last — the classic round-robin guarantee: with T active
+    tenants, each is due at least ``floor(max_batch / T)`` slots of every
+    batch, regardless of how hard any single tenant floods.  Within a
+    tenant, order stays FIFO.
+
+    A tenant lives in the ring only while it has queries queued: the
+    moment its queue drains it is **evicted** — queue and ring slot both
+    freed — and a later submit re-enters it at the tail of the ring (the
+    position a continuously-active tenant would be in right after being
+    served, so eviction never buys anyone extra turns).  An always-on
+    service facing millions of one-shot tenants therefore keeps the ring
+    at O(active tenants), not O(all tenants ever seen), and every
+    ``take()``/``oldest_arrival()`` walk is over active tenants only
+    (pinned by ``tests/test_serving.py``).
 
     Not thread-safe on its own; :class:`QueryService` serialises access
     under its lock.
@@ -255,11 +296,10 @@ class TenantQueues:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._queues: "OrderedDict[str, deque[_Pending]]" = OrderedDict()
-        #: Tenant ring in first-appearance order; `_next` is the ring
-        #: index the next take() starts from.
-        self._ring: list[str] = []
-        self._next = 0
+        #: Per-tenant FIFO; a tenant is present iff its queue is non-empty.
+        self._queues: dict[str, deque[_Pending]] = {}
+        #: Active tenants in service order; ``take`` rotates left-to-right.
+        self._ring: deque[str] = deque()
         self._queued = 0
 
     @property
@@ -268,8 +308,13 @@ class TenantQueues:
         return self._queued
 
     @property
+    def active(self) -> int:
+        """Tenants with at least one query queued (the ring size)."""
+        return len(self._ring)
+
+    @property
     def tenants(self) -> list[str]:
-        """Tenants seen so far, in first-appearance (ring) order."""
+        """Active tenants, in ring (next-served-first) order."""
         return list(self._ring)
 
     def admit(self, pendings: Sequence[_Pending]) -> None:
@@ -288,35 +333,34 @@ class TenantQueues:
 
     def oldest_arrival(self) -> float | None:
         """Arrival time of the longest-waiting query (None when empty)."""
-        heads = [queue[0].arrival for queue in self._queues.values() if queue]
+        heads = [queue[0].arrival for queue in self._queues.values()]
         return min(heads) if heads else None
 
     def take(self, limit: int) -> list[_Pending]:
-        """Dequeue up to *limit* queries, round-robin across tenants."""
-        if limit < 1 or self._queued == 0:
-            return []
+        """Dequeue up to *limit* queries, round-robin across tenants.
+
+        Rotates the active ring: the served tenant goes to the tail when
+        it still has queries queued, and is evicted when the take drained
+        it — either way the next take starts with the tenant after the
+        one served last.
+        """
         batch: list[_Pending] = []
-        ring_size = len(self._ring)
-        position = self._next
-        idle_turns = 0
-        while len(batch) < limit and idle_turns < ring_size:
-            tenant = self._ring[position % ring_size]
+        while len(batch) < limit and self._ring:
+            tenant = self._ring.popleft()
             queue = self._queues[tenant]
+            batch.append(queue.popleft())
             if queue:
-                batch.append(queue.popleft())
-                idle_turns = 0
+                self._ring.append(tenant)
             else:
-                idle_turns += 1
-            position += 1
-        self._next = position % ring_size
+                del self._queues[tenant]
         self._queued -= len(batch)
         return batch
 
     def clear(self) -> list[_Pending]:
         """Drop everything queued (``stop(drain=False)``); returns the drops."""
         dropped = [pending for queue in self._queues.values() for pending in queue]
-        for queue in self._queues.values():
-            queue.clear()
+        self._queues.clear()
+        self._ring.clear()
         self._queued = 0
         return dropped
 
@@ -325,9 +369,18 @@ class TenantQueues:
 class ServingStats:
     """Counters the service accumulates over its lifetime.
 
-    Mutated only by the submit path and the batcher thread under the
+    Mutated only by the submit path and the batcher threads under the
     service lock; read freely (python ints/floats, worst case a stale
     snapshot).
+
+    The scalar counters grow for the whole service lifetime, but the
+    per-query ``latencies`` record is **bounded**: only the most recent
+    ``retention`` completions are kept (a ``deque(maxlen=retention)``), so
+    an always-on service does not leak one float per query forever.
+    Percentiles are exact while ``completed <= retention`` — every
+    benchmark run — and cover the trailing ``retention``-completion
+    window beyond it (documented truncation, pinned by
+    ``tests/test_serving.py``).
     """
 
     #: Client submit calls accepted / queries admitted through them.
@@ -349,24 +402,37 @@ class ServingStats:
     window_batches: int = 0
     #: Admission windows that timed out with no queued queries.
     idle_timeouts: int = 0
-    #: Arrival→completion seconds per completed query, in completion order.
-    latencies: list[float] = field(default_factory=list)
+    #: Arrival→completion seconds per completed query, in completion
+    #: order; bounded to the most recent :attr:`retention` completions.
+    latencies: "deque[float]" = field(default_factory=deque)
     #: Completed queries per tenant.
     per_tenant: dict[str, int] = field(default_factory=dict)
+    #: Bound on :attr:`latencies` (``None`` = unbounded, for bare
+    #: ``ServingStats()`` uses; the service always passes its config's
+    #: ``stats_retention``).
+    retention: int | None = None
+
+    def __post_init__(self) -> None:
+        self.latencies = deque(self.latencies, maxlen=self.retention)
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank latency percentile (nan with nothing completed)."""
-        return percentile(self.latencies, q)
+        """Nearest-rank latency percentile over the retained window
+        (nan with nothing completed)."""
+        return percentile(list(self.latencies), q)
 
 
 class QueryService(object):
     """A long-lived serving loop over a query engine and accelerator model.
 
     Args:
-        engine: the :class:`~repro.engine.engine.QueryEngine` every
-            dynamic batch runs through (sharded engines bring their
-            persistent worker pool along).
-        accelerator: the accelerator model replaying each flushed window;
+        engine: the :class:`~repro.engine.engine.QueryEngine` dynamic
+            batches run through (sharded engines bring their persistent
+            worker pool along).  With ``config.workers > 1`` this engine
+            serves worker 0 and each further batcher worker gets a
+            :meth:`~repro.engine.engine.QueryEngine.clone` over the same
+            read-only backend.
+        accelerator: the accelerator model replaying each flushed window
+            (immutable after construction, so all workers share it);
             ``None`` serves search-only and completes queries at search
             time.
         config: batching/backpressure knobs (:class:`ServingConfig`).
@@ -374,8 +440,8 @@ class QueryService(object):
 
     Use as a context manager, or :meth:`start` / :meth:`stop` explicitly.
     ``stop(drain=True)`` (the default) finishes everything admitted —
-    remaining queue drained into final batches, the partial coalescing
-    window force-flushed — so every accepted ticket resolves.
+    remaining queue drained into final batches, every worker's partial
+    coalescing window force-flushed — so every accepted ticket resolves.
     """
 
     def __init__(
@@ -392,13 +458,20 @@ class QueryService(object):
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queues = TenantQueues(self._config.queue_capacity)
-        self._window = CoalescingWindow(self._config.window)
-        #: Batches searched but awaiting their window flush.
-        self._in_window: list[list[_Pending]] = []
-        self._flushes: list[AcceleratorRunResult] = []
-        self._thread: threading.Thread | None = None
+        #: Flush results in completion order, most recent
+        #: ``stats_retention`` retained (the bounded-stats contract).
+        self._flushes: "deque[AcceleratorRunResult]" = deque(
+            maxlen=self._config.stats_retention
+        )
+        self._workers = [
+            BatcherWorker(self, index, engine if index == 0 else engine.clone())
+            for index in range(self._config.workers)
+        ]
         self._stopping = False
-        self.stats = ServingStats()
+        #: EWMA of observed batch service seconds (search + flush share);
+        #: ``None`` until the first batch completes.
+        self._service_ewma: float | None = None
+        self.stats = ServingStats(retention=self._config.stats_retention)
 
     @property
     def config(self) -> ServingConfig:
@@ -407,32 +480,35 @@ class QueryService(object):
 
     @property
     def engine(self) -> QueryEngine:
-        """The wrapped query engine."""
+        """The wrapped query engine (worker 0's; others use clones)."""
         return self._engine
 
     @property
+    def workers(self) -> list[BatcherWorker]:
+        """The batcher workers, in index order."""
+        return list(self._workers)
+
+    @property
     def running(self) -> bool:
-        """Whether the batcher thread is alive."""
-        return self._thread is not None and self._thread.is_alive()
+        """Whether any batcher thread is alive."""
+        return any(worker.alive for worker in self._workers)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     def start(self) -> "QueryService":
-        """Start the batcher thread (idempotent while running)."""
+        """Start the batcher workers (idempotent while running)."""
         with self._lock:
             if self._stopping:
                 raise RuntimeError("service has been stopped")
-            if self._thread is None or not self._thread.is_alive():
-                self._thread = threading.Thread(
-                    target=self._serve_loop, name="repro-serving-batcher", daemon=True
-                )
-                self._thread.start()
+            for worker in self._workers:
+                if not worker.alive:
+                    worker.start()
         return self
 
     def stop(self, drain: bool = True, timeout: float | None = None) -> None:
-        """Stop the batcher.
+        """Stop the batcher workers.
 
         With ``drain=True`` everything already admitted is batched,
         searched, flushed and completed first; with ``drain=False`` the
@@ -444,13 +520,17 @@ class QueryService(object):
             if not drain:
                 self._queues.clear()
             self._wakeup.notify_all()
-            thread = self._thread
-        if thread is not None:
-            thread.join(timeout)
+            threads = [worker.thread for worker in self._workers if worker.thread]
+        if threads:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for thread in threads:
+                thread.join(
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
         elif drain:
             # Never-started service: drain inline so submitted work still
             # completes deterministically.
-            self._finish()
+            self._workers[0].finish()
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -469,16 +549,18 @@ class QueryService(object):
             AdmissionRejected: the bounded queue cannot hold the group;
                 the exception's ``retry_after`` estimates when the backlog
                 will have drained.
-            RuntimeError: the service has been stopped.
+            RuntimeError: the service has been stopped — unconditionally,
+                including for an empty group (an empty submit must not
+                masquerade as accepted work on a dead service).
         """
         group = [str(query) for query in queries]
         ticket = Ticket(len(group))
-        if not group:
-            return ticket
         now = self._clock()
         with self._wakeup:
             if self._stopping:
                 raise RuntimeError("service has been stopped")
+            if not group:
+                return ticket
             if not self._queues.has_room(len(group)):
                 self.stats.rejected += len(group)
                 raise AdmissionRejected(
@@ -498,31 +580,53 @@ class QueryService(object):
         return ticket
 
     def _retry_after(self) -> float:
-        """Backlog drain estimate: batches outstanding × admission window."""
+        """Backlog drain estimate for bounced clients.
+
+        Batches outstanding × the per-batch pace, spread over the
+        workers draining concurrently.  The pace is the admission window
+        until batches have actually been observed, then never *less* than
+        the EWMA of measured batch service time (search + flush-replay
+        share): charging only the window, as PR 6 did, underestimates the
+        drain whenever service time exceeds ``max_delay`` — which is
+        exactly when clients are being bounced — and sends them straight
+        back into a still-full queue.
+        """
         backlog_batches = math.ceil(
             max(1, self._queues.queued) / self._config.max_batch
         )
-        return backlog_batches * self._config.max_delay
+        pace = self._config.max_delay
+        if self._service_ewma is not None:
+            pace = max(pace, self._service_ewma)
+        return math.ceil(backlog_batches / self._config.workers) * pace
+
+    def _observe_service_time(self, seconds: float) -> None:
+        """Fold one batch's measured service time into the EWMA."""
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            if self._service_ewma is None:
+                self._service_ewma = seconds
+            else:
+                self._service_ewma += _EWMA_ALPHA * (seconds - self._service_ewma)
+
+    @property
+    def service_time_ewma(self) -> float | None:
+        """EWMA of observed batch service seconds (None before any batch)."""
+        return self._service_ewma
 
     # ------------------------------------------------------------------ #
-    # Batcher
+    # Batch formation (shared by all workers; see workers.py for the loop)
     # ------------------------------------------------------------------ #
 
-    def _serve_loop(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                break
-            if batch:
-                self._run_batch(batch)
-            elif self._in_window:
-                # Idle tick with a partially filled coalescing window: no
-                # new batch is coming to top it off, so flush now — a
-                # query's completion must never wait on *future* traffic.
-                flushed = self._window.flush()
-                if flushed is not None:
-                    self._replay(flushed)
-        self._finish()
+    def _take_batch(self) -> list[_Pending]:
+        """Take one dynamic batch off the queues (caller holds the lock),
+        stamping the global formation-order batch index."""
+        batch = self._queues.take(self._config.max_batch)
+        if batch:
+            batch_index = self.stats.batches
+            self.stats.batches += 1
+            for pending in batch:
+                pending.batch_index = batch_index
+        return batch
 
     def _next_batch(self) -> list[_Pending] | None:
         """Form the next dynamic batch.
@@ -549,40 +653,23 @@ class QueryService(object):
                 if remaining <= 0:
                     break
                 self._wakeup.wait(remaining)
-            return self._queues.take(config.max_batch)
+            return self._take_batch()
 
-    def _run_batch(self, pendings: list[_Pending]) -> None:
-        result = self._engine.search_batch([pending.query for pending in pendings])
+    def _record_flush(self, run: AcceleratorRunResult, flushed) -> int:
+        """Account one replayed flush (called by the worker that ran it);
+        returns the flush's global completion-order index."""
         with self._lock:
-            batch_index = self.stats.batches
-            self.stats.batches += 1
-            self.stats.searched += len(pendings)
-        for pending, interval in zip(pendings, result.intervals):
-            pending.interval = interval
-            pending.batch_index = batch_index
-        if self._accelerator is None:
-            self._complete(pendings, flush_index=-1)
-            return
-        self._in_window.append(pendings)
-        flushed = self._window.push(result.stats.requests)
-        if flushed is not None:
-            self._replay(flushed)
-
-    def _replay(self, flushed) -> None:
-        """Replay one flushed window — the service's unit of work."""
-        run = self._accelerator.replay_flush(flushed, name=self._config.name)
-        pendings = [pending for batch in self._in_window for pending in batch]
-        self._in_window = []
-        with self._lock:
-            flush_index = len(self._flushes)
-            self._flushes.append(run)
+            flush_index = self.stats.flushes
             self.stats.flushes += 1
+            self._flushes.append(run)
             self.stats.issued_requests += flushed.issued
             self.stats.scheduled_requests += flushed.unique
             self.stats.window_batches += flushed.batches
-        self._complete(pendings, flush_index)
+        return flush_index
 
-    def _complete(self, pendings: list[_Pending], flush_index: int) -> None:
+    def _complete(
+        self, pendings: list[_Pending], flush_index: int, worker_index: int = -1
+    ) -> None:
         now = self._clock()
         with self._lock:
             for pending in pendings:
@@ -602,20 +689,9 @@ class QueryService(object):
                     completion=now,
                     batch_index=pending.batch_index,
                     flush_index=flush_index,
+                    worker_index=worker_index,
                 ),
             )
-
-    def _finish(self) -> None:
-        """Drain the queue and force-flush the partial window (stop path)."""
-        while True:
-            with self._lock:
-                batch = self._queues.take(self._config.max_batch)
-            if not batch:
-                break
-            self._run_batch(batch)
-        final = self._window.flush()
-        if final is not None:
-            self._replay(final)
 
     # ------------------------------------------------------------------ #
     # Results
@@ -630,6 +706,9 @@ class QueryService(object):
         offline path over the same batch streams — both run
         :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.replay_flush`
         on identical :class:`~repro.engine.window.WindowedBatch` merges.
+        With multiple workers the flushes appear in completion order
+        (interleaved across workers); :meth:`worker_results` gives the
+        per-worker sequences the offline equivalence pin extends to.
         """
         with self._lock:
             return WindowedRunResult(
@@ -639,3 +718,13 @@ class QueryService(object):
                 batches=self.stats.window_batches,
                 issued=self.stats.issued_requests,
             )
+
+    def worker_results(self) -> list[WindowedRunResult]:
+        """Each worker's replay record, in worker-index order.
+
+        Worker *w*'s record covers exactly the dynamic batches that
+        worker took (its partition), in the order it took them — the
+        shape :class:`~repro.serving.workers.BatcherWorker.result`
+        documents.  Call after :meth:`stop`.
+        """
+        return [worker.result() for worker in self._workers]

@@ -1,0 +1,182 @@
+"""Batcher workers: the serving layer's scale-out unit.
+
+PR 6's service ran everything through **one** batcher thread over one
+engine and one coalescing window, so the whole pipeline — dynamic batch
+formation, lockstep search, cross-batch merge, flush replay — was serial
+no matter how many cores the host had.  :class:`BatcherWorker` is the
+unit that scales that out (the work-queue/result-queue worker shape of
+the lumos ``ASICQuad.Worker`` model): ``ServingConfig.workers`` of them
+drain the *shared* :class:`~repro.serving.service.TenantQueues` under the
+service lock, and each one owns
+
+* its **own engine** — a :meth:`~repro.engine.engine.QueryEngine.clone`
+  over the shared read-only backend, so lockstep searches of different
+  batches run truly concurrently;
+* its **own coalescing window** — consecutive batches taken by the same
+  worker merge across that worker's window, and every flush is replayed
+  via :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.replay_flush`
+  as an independent scheduling epoch (the PR 4 contract), so a worker's
+  flush sequence is field-for-field identical to the offline
+  :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_windowed`
+  path over the batches that worker happened to take — the single-worker
+  equivalence pin holds per worker partition (``tests/test_serving.py``).
+
+Batch formation, completion bookkeeping and the admission queue stay in
+:class:`~repro.serving.service.QueryService`; the worker is the engine/
+window/replay state plus the loop that drives it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from ..accel.exma_accelerator import AcceleratorRunResult, WindowedRunResult
+from ..engine.window import CoalescingWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.engine import QueryEngine
+    from .service import QueryService, _Pending
+
+__all__ = ["BatcherWorker"]
+
+
+class BatcherWorker:
+    """One batcher worker: a private engine + coalescing window draining
+    the service's shared admission queue.
+
+    Created (and started) by :class:`~repro.serving.service.QueryService`;
+    everything shared — queue, stats, completion — goes through the
+    service under its lock, everything per-worker (engine, window,
+    batches awaiting their flush, flush results) lives here and is only
+    touched by this worker's thread.
+    """
+
+    __slots__ = (
+        "index",
+        "engine",
+        "window",
+        "thread",
+        "_service",
+        "_in_window",
+        "_flushes",
+        "_window_batches",
+        "_issued",
+    )
+
+    def __init__(self, service: "QueryService", index: int, engine: "QueryEngine") -> None:
+        self.index = index
+        self.engine = engine
+        self.window = CoalescingWindow(service.config.window)
+        self.thread: threading.Thread | None = None
+        self._service = service
+        #: Batches searched by this worker, awaiting their window flush.
+        self._in_window: list[list["_Pending"]] = []
+        self._flushes: list[AcceleratorRunResult] = []
+        self._window_batches = 0
+        self._issued = 0
+
+    def start(self) -> None:
+        """Start (or restart) this worker's batcher thread."""
+        self.thread = threading.Thread(
+            target=self.serve_loop,
+            name=f"repro-serving-batcher-{self.index}",
+            daemon=True,
+        )
+        self.thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """Whether this worker's thread is running."""
+        return self.thread is not None and self.thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+
+    def serve_loop(self) -> None:
+        service = self._service
+        while True:
+            batch = service._next_batch()
+            if batch is None:
+                break
+            if batch:
+                self.run_batch(batch)
+            elif self._in_window:
+                # Idle tick with a partially filled coalescing window: no
+                # new batch is coming to top it off, so flush now — a
+                # query's completion must never wait on *future* traffic.
+                flushed = self.window.flush()
+                if flushed is not None:
+                    self.replay(flushed)
+        self.finish()
+
+    def run_batch(self, pendings: list["_Pending"]) -> None:
+        """Search one dynamic batch and push it through this worker's window.
+
+        The elapsed wall time (search plus any flush replay it triggered)
+        feeds the service's EWMA of batch service time, which the
+        backpressure ``retry_after`` estimate is based on.
+        """
+        service = self._service
+        started = service._clock()
+        result = self.engine.search_batch([pending.query for pending in pendings])
+        with service._lock:
+            service.stats.searched += len(pendings)
+        for pending, interval in zip(pendings, result.intervals):
+            pending.interval = interval
+        if service._accelerator is None:
+            service._complete(pendings, flush_index=-1, worker_index=self.index)
+        else:
+            self._in_window.append(pendings)
+            flushed = self.window.push(result.stats.requests)
+            if flushed is not None:
+                self.replay(flushed)
+        service._observe_service_time(service._clock() - started)
+
+    def replay(self, flushed) -> None:
+        """Replay one flushed window — the worker's unit of work."""
+        service = self._service
+        run = service._accelerator.replay_flush(flushed, name=service.config.name)
+        pendings = [pending for batch in self._in_window for pending in batch]
+        self._in_window = []
+        self._flushes.append(run)
+        self._window_batches += flushed.batches
+        self._issued += flushed.issued
+        flush_index = service._record_flush(run, flushed)
+        service._complete(pendings, flush_index, worker_index=self.index)
+
+    def finish(self) -> None:
+        """Drain the shared queue and force-flush this worker's partial
+        window (the stop path; also run inline for a never-started service)."""
+        service = self._service
+        while True:
+            with service._lock:
+                batch = service._take_batch()
+            if not batch:
+                break
+            self.run_batch(batch)
+        final = self.window.flush()
+        if final is not None:
+            self.replay(final)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def result(self) -> WindowedRunResult:
+        """This worker's replay record, shaped like
+        :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.run_windowed`'s.
+
+        For the batch partition this worker took, the flushes are
+        field-for-field identical to the offline ``run_windowed`` over the
+        same batch streams — both run ``replay_flush`` on identical
+        merges.  Call only after the worker stopped (or from its thread).
+        """
+        return WindowedRunResult(
+            name=self._service.config.name,
+            flushes=list(self._flushes),
+            capacity=self.window.capacity,
+            batches=self._window_batches,
+            issued=self._issued,
+        )

@@ -26,6 +26,7 @@ from repro.serving import (
     AdmissionRejected,
     QueryService,
     ServingConfig,
+    ServingStats,
     TenantQueues,
     Ticket,
     bursty_schedule,
@@ -109,6 +110,37 @@ class TestTenantQueues:
         assert queues.take(8)  # drain
         assert queues.oldest_arrival() is None
 
+    def test_drained_tenants_are_evicted(self):
+        """Regression: the ring must stay O(active tenants), not O(all
+        tenants ever seen) — an always-on service facing one-shot tenants
+        previously leaked a queue entry per tenant forever."""
+        queues = TenantQueues(capacity=100_000)
+        for index in range(1000):
+            queues.admit([_pending("q", f"one-shot-{index}")])
+        assert queues.active == 1000
+        taken = queues.take(500)
+        assert len(taken) == 500
+        # The 500 drained tenants are fully evicted, not just emptied.
+        assert queues.active == 500
+        assert len(queues._queues) == 500
+        assert len(queues._ring) == 500
+        queues.take(500)
+        assert queues.active == 0
+        assert queues._queues == {} and not queues._ring
+        assert queues.oldest_arrival() is None
+
+    def test_evicted_tenant_readmits_at_ring_tail(self):
+        """Eviction must not buy extra turns: a tenant that drains and
+        comes back re-enters behind the tenants already waiting."""
+        queues = TenantQueues(capacity=64)
+        queues.admit([_pending("a0", "a"), _pending("a1", "a")])
+        queues.admit([_pending("b0", "b")])
+        assert [(p.tenant, p.query) for p in queues.take(2)] == [("a", "a0"), ("b", "b0")]
+        assert queues.tenants == ["a"]  # b drained => evicted
+        queues.admit([_pending("b1", "b")])
+        assert queues.tenants == ["a", "b"]
+        assert [(p.tenant, p.query) for p in queues.take(2)] == [("a", "a1"), ("b", "b1")]
+
 
 # --------------------------------------------------------------------- #
 # Backpressure
@@ -149,6 +181,47 @@ class TestBackpressure:
         service.stop()
         with pytest.raises(RuntimeError):
             service.submit(["ACGT"])
+
+    def test_empty_submit_after_stop_raises(self, serving_stack):
+        """Regression: an empty group used to short-circuit *before* the
+        stopped check and hand back an already-resolved ticket — accepted
+        work from a dead service.  Both paths must raise."""
+        _, backend, _ = serving_stack
+        service = QueryService(QueryEngine(backend))
+        service.stop()
+        with pytest.raises(RuntimeError):
+            service.submit([])
+        with pytest.raises(RuntimeError):
+            service.submit(["ACGT"])
+
+    def test_retry_after_reflects_observed_service_time(self, serving_stack):
+        """Regression: retry_after used to charge only the admission
+        window per backlog batch, so whenever real batch service time
+        exceeded max_delay — exactly the overload that causes bounces —
+        clients were told to come back into a still-full queue."""
+        _, backend, _ = serving_stack
+        service = QueryService(
+            QueryEngine(backend),
+            config=ServingConfig(queue_capacity=8, max_batch=4, max_delay=0.005),
+        )
+        service.submit(["ACGT"] * 8)
+        service._observe_service_time(0.5)
+        assert service.service_time_ewma == pytest.approx(0.5)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(["ACGT"])
+        # 2 backlog batches at the observed 0.5 s pace, not the 5 ms window.
+        assert excinfo.value.retry_after == pytest.approx(2 * 0.5)
+        service.stop(drain=False)
+
+    def test_service_time_ewma_smooths(self, serving_stack):
+        _, backend, _ = serving_stack
+        service = QueryService(QueryEngine(backend))
+        assert service.service_time_ewma is None
+        service._observe_service_time(0.5)
+        service._observe_service_time(0.1)
+        # alpha = 0.2: 0.5 + 0.2 * (0.1 - 0.5)
+        assert service.service_time_ewma == pytest.approx(0.42)
+        service.stop(drain=False)
 
 
 # --------------------------------------------------------------------- #
@@ -338,6 +411,233 @@ class TestLifecycle:
 
 
 # --------------------------------------------------------------------- #
+# Bounded stats (regression: unbounded per-query growth)
+# --------------------------------------------------------------------- #
+
+
+class TestBoundedStats:
+    def test_latencies_bounded_to_retention(self):
+        """Regression: ``latencies`` grew one float per completed query
+        forever.  At the bound the record is a trailing window."""
+        stats = ServingStats(retention=4)
+        for value in range(1, 11):
+            stats.latencies.append(float(value))
+        assert list(stats.latencies) == [7.0, 8.0, 9.0, 10.0]
+        # Percentiles over the retained trailing window.
+        assert stats.latency_percentile(50) == 8.0
+        assert stats.latency_percentile(100) == 10.0
+
+    def test_percentiles_exact_under_retention(self):
+        stats = ServingStats(retention=10)
+        for value in range(1, 11):
+            stats.latencies.append(float(value))
+        # At-or-under the bound nothing is truncated: exact nearest-rank.
+        assert stats.latency_percentile(50) == 5.0
+        assert stats.latency_percentile(90) == 9.0
+        assert stats.latency_percentile(100) == 10.0
+
+    def test_bare_stats_stay_unbounded(self):
+        stats = ServingStats()
+        assert stats.latencies.maxlen is None
+
+    def test_service_bounds_latencies_and_flushes(self, serving_stack):
+        """Counters keep the lifetime totals; the per-item records keep
+        only the most recent ``stats_retention`` entries."""
+        reference, backend, accelerator = serving_stack
+        config = ServingConfig(
+            max_batch=1, max_delay=30.0, window=1, stats_retention=3
+        )
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        queries = random_queries(reference, count=5, length=14, seed=41)
+        tickets = [service.submit([query]) for query in queries]
+        service.stop()  # never started: drains inline, 5 batches, 5 flushes
+        for ticket in tickets:
+            ticket.result(timeout=TIMEOUT)
+        assert service.stats.completed == 5
+        assert service.stats.flushes == 5
+        assert len(service.stats.latencies) == 3
+        assert len(service.result().flushes) == 3
+        assert service.stats.latencies.maxlen == 3
+
+
+# --------------------------------------------------------------------- #
+# Saturation: driving the service past its admission bound
+# --------------------------------------------------------------------- #
+
+
+class TestSaturation:
+    def test_overload_rejects_then_accepted_work_drains(self, serving_stack):
+        """Deterministic saturation: with the batcher not running, offered
+        load past ``queue_capacity`` must be rejected with finite positive
+        retry_after hints, and every *accepted* ticket must still resolve
+        once the service drains."""
+        reference, backend, accelerator = serving_stack
+        ticks = [0.0]
+        config = ServingConfig(queue_capacity=12, max_batch=4, window=2)
+        service = QueryService(
+            QueryEngine(backend), accelerator, config, clock=lambda: ticks[0]
+        )
+        queries = random_queries(reference, count=4, length=14, seed=77)
+        accepted, rejections = [], []
+        for index in range(8):
+            ticks[0] = index * 0.001
+            try:
+                accepted.append(service.submit(queries, tenant=f"t{index % 3}"))
+            except AdmissionRejected as rejection:
+                rejections.append(rejection)
+        # 12 capacity / groups of 4: exactly 3 groups fit, 5 bounce.
+        assert len(accepted) == 3 and len(rejections) == 5
+        assert service.stats.rejected == 4 * len(rejections)
+        for rejection in rejections:
+            assert math.isfinite(rejection.retry_after) and rejection.retry_after > 0
+            assert rejection.queued == 12 and rejection.capacity == 12
+
+        # retry_after coherence: once a real batch pace is observed, the
+        # hint must cover the backlog at that pace spread over the workers.
+        service._observe_service_time(0.25)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(queries)
+        backlog_batches = math.ceil(12 / config.max_batch)
+        floor = math.ceil(backlog_batches / config.workers) * 0.25
+        assert excinfo.value.retry_after >= floor - 1e-9
+
+        service.stop()  # drain inline
+        for ticket in accepted:
+            outcomes = ticket.result(timeout=TIMEOUT)
+            assert all(outcome.interval is not None for outcome in outcomes)
+        assert service.stats.completed == 4 * len(accepted)
+
+
+# --------------------------------------------------------------------- #
+# The worker pool
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerPool:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(stats_retention=0)
+
+    def test_engine_clone_shares_backend(self, serving_stack):
+        reference, backend, _ = serving_stack
+        engine = QueryEngine(backend)
+        clone = engine.clone()
+        assert clone is not engine and clone.backend is engine.backend
+        queries = random_queries(reference, count=6, length=14, seed=13)
+        assert clone.search_batch(queries).intervals == engine.search_batch(queries).intervals
+
+    def test_service_spawns_one_worker_per_config(self, serving_stack):
+        _, backend, accelerator = serving_stack
+        service = QueryService(
+            QueryEngine(backend), accelerator, ServingConfig(workers=3)
+        )
+        workers = service.workers
+        assert [worker.index for worker in workers] == [0, 1, 2]
+        # Worker 0 keeps the caller's engine; the rest get clones over the
+        # same shared backend, each with a private coalescing window.
+        assert workers[0].engine is service.engine
+        assert all(worker.engine.backend is backend for worker in workers)
+        assert len({id(worker.window) for worker in workers}) == 3
+        service.stop(drain=False)
+
+    def test_multi_worker_serves_and_stays_fair(self, serving_stack):
+        reference, backend, accelerator = serving_stack
+        config = ServingConfig(max_batch=4, max_delay=0.002, window=2, workers=2)
+        with QueryService(QueryEngine(backend), accelerator, config) as service:
+            tickets = [
+                service.submit(random_queries(reference, 6, 14, seed=index), tenant=tenant)
+                for index, tenant in enumerate(("alice", "bob", "carol"))
+            ]
+            service.stop()
+        outcomes = [ticket.result(timeout=TIMEOUT) for ticket in tickets]
+        assert service.stats.per_tenant == {"alice": 6, "bob": 6, "carol": 6}
+        assert {
+            outcome.worker_index for group in outcomes for outcome in group
+        } <= {0, 1}
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_worker_partitions_match_run_windowed(self, serving_stack, workers):
+        """The PR 6 equivalence pin, extended per worker partition: each
+        worker's flush sequence must equal the offline ``run_windowed``
+        over the batch streams that worker happened to take, whatever the
+        nondeterministic batch-to-worker assignment was."""
+        reference, backend, accelerator = serving_stack
+        batch, groups = 6, 6
+        query_groups = [
+            random_queries(reference, count=batch, length=16, seed=200 + index)
+            for index in range(groups)
+        ]
+        config = ServingConfig(
+            max_batch=batch, max_delay=30.0, window=2, idle_timeout=30.0,
+            workers=workers,
+        )
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        with service:
+            tickets = [service.submit(group) for group in query_groups]
+            service.stop()
+        outcomes = [ticket.result(timeout=TIMEOUT) for ticket in tickets]
+
+        # Single tenant + exactly-max_batch groups: dynamic batch g is
+        # group g, and one worker serves all of it.
+        partition: dict[int, list[int]] = {}
+        for group_index, group_outcomes in enumerate(outcomes):
+            assert {outcome.batch_index for outcome in group_outcomes} == {group_index}
+            owners = {outcome.worker_index for outcome in group_outcomes}
+            assert len(owners) == 1
+            partition.setdefault(owners.pop(), []).append(group_index)
+        assert sorted(
+            index for taken in partition.values() for index in taken
+        ) == list(range(groups))
+
+        offline_engine = QueryEngine(backend)
+        streams = [
+            offline_engine.search_batch(group).stats.requests for group in query_groups
+        ]
+        served = service.worker_results()
+        assert len(served) == workers
+        for worker_index in range(workers):
+            taken = partition.get(worker_index, [])
+            # batch_index is stamped at take time, so ascending order is
+            # the order this worker took (and flushed) its batches.
+            assert taken == sorted(taken)
+            offline = accelerator.run_windowed(
+                iter(streams[index] for index in taken),
+                window=config.window,
+                name=config.name,
+            )
+            assert served[worker_index].flushes == offline.flushes
+            assert served[worker_index].issued == offline.issued
+            assert served[worker_index].batches == offline.batches
+
+        # And the intervals are still exactly the engine's.
+        for group, group_outcomes in zip(query_groups, outcomes):
+            assert [
+                outcome.interval for outcome in group_outcomes
+            ] == offline_engine.search_batch(group).intervals
+
+    def test_multi_worker_open_loop_completes_everything(self, serving_stack):
+        reference, backend, accelerator = serving_stack
+        pool = sample_query_pool(reference, pool_size=32, length=14, seed=0)
+        schedule = make_schedule(
+            poisson_schedule(rate=300.0, duration=0.2, seed=2),
+            pool,
+            tenants=3,
+            queries_per_arrival=2,
+            seed=2,
+        )
+        config = ServingConfig(max_delay=0.005, window=2, workers=2)
+        service = QueryService(QueryEngine(backend), accelerator, config)
+        with service:
+            result = run_open_loop(service, schedule, result_timeout=TIMEOUT)
+        assert result.accepted > 0
+        assert service.stats.completed == result.accepted
+        p99 = service.stats.latency_percentile(99)
+        assert math.isfinite(p99) and p99 > 0
+
+
+# --------------------------------------------------------------------- #
 # Load generation
 # --------------------------------------------------------------------- #
 
@@ -399,6 +699,17 @@ class TestLoadGen:
         assert service.stats.completed == result.accepted
         p99 = service.stats.latency_percentile(99)
         assert math.isfinite(p99) and p99 > 0
+
+    def test_rate_ladder(self):
+        from repro.serving import rate_ladder
+
+        assert rate_ladder(100.0, [1, 4, 2]) == [100.0, 200.0, 400.0]
+        with pytest.raises(ValueError):
+            rate_ladder(0.0, [1])
+        with pytest.raises(ValueError):
+            rate_ladder(100.0, [])
+        with pytest.raises(ValueError):
+            rate_ladder(100.0, [1, -2])
 
     def test_percentile_nearest_rank(self):
         values = [1.0, 2.0, 3.0, 4.0]

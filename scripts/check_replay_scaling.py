@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Gate on the recorded epoch-parallel replay sweep (``BENCH_accel_replay.json``).
+
+The parallel replay layer is only allowed to exist because it is exactly
+equivalent to the serial epoch order — a flush epoch starts from fresh
+scheduler/cache/DRAM state (the PR 4 contract), so fanning epochs across
+the worker pool must reproduce ``run_stream`` field for field.  This gate
+fails when that contract (or the honesty conventions around the record)
+breaks:
+
+* the record must carry a ``replay_scaling`` section with at least one
+  row, and top-level ``host_cpus``/``available_cpus`` — a sweep recorded
+  without its host shape cannot be judged;
+* every sweep row must record ``results_equal`` — the parallel
+  :meth:`~repro.accel.parallel.ParallelReplay.run_stream` result compared
+  equal (dataclass equality, every field) to the serial baseline;
+* with ``--require-speedup`` (the multicore CI leg), the widest-worker
+  row of every label must beat serial by the threshold (default 1.0x —
+  i.e. any real speedup).  Without the flag the timing columns are
+  reported but not gated, so a 1-CPU host records an honest ~1x tie
+  without failing.
+
+Exit codes: 0 when the gate holds, 1 on a violation, 2 on malformed
+input.
+
+Usage: check_replay_scaling.py BENCH_accel_replay.json
+           [--require-speedup [MIN_SPEEDUP]]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Speedup the widest-worker row must clear under ``--require-speedup``.
+DEFAULT_MIN_SPEEDUP = 1.0
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv[1:])
+    require_speedup = False
+    min_speedup = DEFAULT_MIN_SPEEDUP
+    if "--require-speedup" in args:
+        index = args.index("--require-speedup")
+        args.pop(index)
+        require_speedup = True
+        if index < len(args):
+            try:
+                min_speedup = float(args[index])
+            except ValueError:
+                pass
+            else:
+                args.pop(index)
+    if len(args) != 1:
+        print(
+            f"usage: {argv[0]} BENCH_accel_replay.json "
+            "[--require-speedup [MIN_SPEEDUP]]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(args[0], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read the replay record: {error}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in ("host_cpus", "available_cpus"):
+        if not isinstance(report.get(key), int) or report[key] < 1:
+            failures.append(f"record is missing a positive top-level {key!r}")
+    scaling = report.get("replay_scaling")
+    rows = scaling.get("rows", []) if isinstance(scaling, dict) else []
+    if not rows:
+        print("no replay_scaling rows recorded", file=sys.stderr)
+        return 2
+
+    widest: dict[str, dict] = {}
+    for row in rows:
+        label = row.get("label", "?")
+        workers = row.get("replay_workers", 0)
+        print(
+            f"{label:>9s}  workers={workers:>2d} ({row.get('executor', '?')})  "
+            f"serial={row.get('serial_seconds', 0.0):8.4f}s  "
+            f"parallel={row.get('seconds', 0.0):8.4f}s  "
+            f"{row.get('speedup', 0.0):5.2f}x  "
+            f"pipeline {row.get('pipeline_speedup', 0.0):5.2f}x"
+        )
+        if not row.get("results_equal", False):
+            failures.append(
+                f"row {label!r} @ {workers} workers: parallel replay "
+                "diverged from the serial epoch order"
+            )
+        best = widest.get(label)
+        if best is None or workers > best.get("replay_workers", 0):
+            widest[label] = row
+
+    if require_speedup:
+        for label, row in sorted(widest.items()):
+            workers = row.get("replay_workers", 0)
+            if workers < 2:
+                failures.append(
+                    f"row {label!r}: --require-speedup needs a multi-worker "
+                    f"sweep point (widest recorded: {workers})"
+                )
+                continue
+            speedup = row.get("speedup", 0.0)
+            if speedup <= min_speedup:
+                failures.append(
+                    f"row {label!r} @ {workers} workers: speedup "
+                    f"{speedup:.2f}x does not beat the {min_speedup:.2f}x gate"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    verdict = "every sweep row matches the serial epoch order"
+    if require_speedup:
+        verdict += f" and the widest sweep beats {min_speedup:.2f}x"
+    print(f"OK: {verdict} (host_cpus={report['host_cpus']}, "
+          f"available_cpus={report['available_cpus']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,7 @@ from .config import (
 )
 from .exma_accelerator import AcceleratorRunResult, ExmaAccelerator, WindowedRunResult
 from .metrics import ApplicationRun, SearchThroughput, geometric_mean, normalise
+from .parallel import ParallelReplay, replay_epoch
 
 __all__ = [
     "AcceleratorModel",
@@ -47,7 +48,9 @@ __all__ = [
     "exma_full_config",
     "AcceleratorRunResult",
     "ExmaAccelerator",
+    "ParallelReplay",
     "WindowedRunResult",
+    "replay_epoch",
     "stream_merge_ratio",
     "ApplicationRun",
     "SearchThroughput",

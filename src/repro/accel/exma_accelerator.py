@@ -253,6 +253,77 @@ class ExmaAccelerator:
         else:
             self._modelled_lookup = np.zeros(table.kmer_count, dtype=bool)
             self._bucket_lookup = None
+        #: Persistent epoch-replay driver (:class:`~repro.accel.parallel
+        #: .ParallelReplay`), created lazily by the first parallel
+        #: ``run_stream`` and swapped when the knobs change.
+        self._replay = None
+
+    # ------------------------------------------------------------------ #
+    # Parallel replay pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def replay(self):
+        """The persistent parallel-replay driver, or ``None`` (serial)."""
+        return self._replay
+
+    @staticmethod
+    def _resolve_replay_workers(replay_workers: "int | None") -> int:
+        """Explicit knob wins verbatim; the env default is hardware-clamped.
+
+        Mirrors the search side's split between the forced
+        :class:`~repro.engine.sharded.ShardedQueryEngine` (runs exactly
+        the split it was asked for — what the equivalence suite relies
+        on) and the adaptive default path (``REPRO_DEFAULT_REPLAY_WORKERS``
+        clamped by :func:`~repro.engine.sharded.effective_shards`, so a
+        blanket env toggle degrades to serial on a single-core host
+        unless ``REPRO_SHARD_OVERSUBSCRIBE`` lifts the clamp).
+        """
+        if replay_workers is None:
+            from ..engine.sharded import default_replay_workers, effective_shards
+
+            return effective_shards(default_replay_workers())
+        workers = int(replay_workers)
+        if workers < 1:
+            raise ValueError("replay_workers must be >= 1")
+        return workers
+
+    def _ensure_replay(self, workers: int, executor: "str | None"):
+        """Reuse the owned replay driver, swapping it when knobs change."""
+        from ..engine.sharded import default_executor
+        from .parallel import ParallelReplay
+
+        executor = default_executor() if executor is None else executor
+        replay = self._replay
+        if replay is not None and (
+            replay.workers != workers or replay.executor != executor
+        ):
+            replay.close()
+            replay = None
+        if replay is None:
+            replay = ParallelReplay(self, workers=workers, executor=executor)
+            self._replay = replay
+        return replay
+
+    def close(self) -> None:
+        """Release the parallel-replay pool (no-op when never created)."""
+        replay, self._replay = self._replay, None
+        if replay is not None:
+            replay.close()
+
+    def __enter__(self) -> "ExmaAccelerator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Worker pools never cross process boundaries: a process-pool
+        # replay worker receives the accelerator via the pool initializer
+        # and must not drag the parent's executor (unpicklable) with it.
+        state = self.__dict__.copy()
+        state["_replay"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # Layout and compression
@@ -754,6 +825,8 @@ class ExmaAccelerator:
         self,
         windows: "Iterable[WindowedBatch | Sequence[OccRequest]]",
         name: str = "EXMA",
+        replay_workers: "int | None" = None,
+        executor: "str | None" = None,
     ) -> WindowedRunResult:
         """Replay a stream of flushed windows, accounting each flush alone.
 
@@ -769,7 +842,22 @@ class ExmaAccelerator:
         and its bases default to the *issued* (pre-window-merge) count, so
         throughput stays comparable across window capacities while the
         replayed stream shrinks with W.
+
+        Because epochs are independent, ``replay_workers > 1`` fans them
+        across a persistent worker pool (:class:`~repro.accel.parallel
+        .ParallelReplay`, reusing :class:`~repro.engine.sharded
+        .BackendWorkerPool` with this accelerator as the backend) and
+        reassembles the per-flush results in flush order — the result is
+        **field-for-field identical** to the serial replay.  An explicit
+        count is honoured verbatim; the default consults
+        ``REPRO_DEFAULT_REPLAY_WORKERS`` clamped to the hardware.
+        *executor* picks the pool kind (``REPRO_DEFAULT_EXECUTOR`` when
+        ``None``); the process executor ships the accelerator once per
+        worker via the pool initializer.
         """
+        workers = self._resolve_replay_workers(replay_workers)
+        if workers > 1:
+            return self._ensure_replay(workers, executor).run_stream(windows, name=name)
         flushes: list[AcceleratorRunResult] = []
         batches = 0
         issued = 0
@@ -810,6 +898,8 @@ class ExmaAccelerator:
         batch_streams: "Iterable[Sequence[OccRequest]]",
         window: "int | CoalescingWindow" = 1,
         name: str = "EXMA",
+        replay_workers: "int | None" = None,
+        executor: "str | None" = None,
     ) -> WindowedRunResult:
         """Merge consecutive batch streams through a coalescing window and
         replay the flushes.
@@ -819,11 +909,18 @@ class ExmaAccelerator:
         :class:`~repro.engine.coalesce.RequestStream`) pass through a
         :class:`~repro.engine.window.CoalescingWindow` of capacity W and
         every flush is replayed as one scheduling epoch.  ``window=1``
-        reproduces the per-batch path exactly.
+        reproduces the per-batch path exactly.  *replay_workers* and
+        *executor* pass straight to :meth:`run_stream` — windowing
+        happens up front, so the flush epochs still fan across the pool.
         """
         if isinstance(window, int):
             window = CoalescingWindow(window)
-        result = self.run_stream(window.stream(batch_streams), name=name)
+        result = self.run_stream(
+            window.stream(batch_streams),
+            name=name,
+            replay_workers=replay_workers,
+            executor=executor,
+        )
         result.capacity = window.capacity
         return result
 

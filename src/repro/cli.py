@@ -132,6 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
         "of this many bp (0 disables; the recorded benchmark uses 1000000)",
     )
     experiment.add_argument(
+        "--replay-workers",
+        default=None,
+        metavar="N[,N...]",
+        help="replay-pool workers: a comma-separated sweep for accel-replay "
+        "(default: 1,2,4) or a single count for fig18-window (default: "
+        "REPRO_DEFAULT_REPLAY_WORKERS or serial)",
+    )
+    experiment.add_argument(
+        "--replay-executor",
+        choices=EXECUTORS,
+        default=None,
+        help="worker pool kind for --replay-workers "
+        "(default: REPRO_DEFAULT_EXECUTOR or thread)",
+    )
+    experiment.add_argument(
+        "--replay-batches",
+        type=int,
+        default=8,
+        help="accel-replay: query batches streamed through the replay-scaling "
+        "sweep (each batch's flush is one parallel epoch)",
+    )
+    experiment.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -160,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="batcher workers draining the shared admission queue",
+    )
+    serve.add_argument(
+        "--replay-workers",
+        type=int,
+        default=1,
+        help="flush-replay pool workers shared by the batcher workers "
+        "(1 keeps replay inline on each batcher thread)",
+    )
+    serve.add_argument(
+        "--replay-executor",
+        choices=EXECUTORS,
+        default=None,
+        help="worker pool kind for --replay-workers "
+        "(default: REPRO_DEFAULT_EXECUTOR or thread)",
     )
     _add_serving_flags(serve)
     _add_sharding_flags(serve)
@@ -320,6 +356,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
     name = args.name
     if name == "accel-replay":
+        replay_workers = (1, 2, 4)
+        if args.replay_workers:
+            replay_workers = _parse_csv(args.replay_workers, int, "--replay-workers")
         result = ex.run_accel_replay(
             genome_length=args.genome_length,
             seed=args.seed,
@@ -327,6 +366,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
             query_length=args.query_length or 48,
             repeats=args.repeats,
             megabase_length=args.megabase_length,
+            replay_workers=replay_workers,
+            replay_executor=args.replay_executor or "thread",
+            replay_batches=args.replay_batches,
         )
         print(ex.format_accel_replay(result))
         if args.json:
@@ -334,6 +376,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         if not all(row.results_equal for row in result.rows):
             print("ERROR: columnar replay diverged from the object reference")
+            return 1
+        if not all(row.results_equal for row in result.scaling_rows):
+            print("ERROR: parallel replay diverged from the serial epoch order")
             return 1
     elif name == "fig1":
         print(ex.format_fig1(ex.run_fig1(genome_length=args.genome_length, seed=args.seed)))
@@ -368,6 +413,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
         while windows[-1] * 2 <= max(1, args.window):
             windows.append(windows[-1] * 2)
         query_length = args.query_length or 48
+        replay_workers = None
+        if args.replay_workers:
+            values = _parse_csv(args.replay_workers, int, "--replay-workers")
+            if len(values) != 1:
+                raise SystemExit("fig18-window takes a single --replay-workers count")
+            replay_workers = values[0]
         result = ex.run_fig18_window(
             genome_length=args.genome_length,
             seed=args.seed,
@@ -375,6 +426,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
             batch_count=args.batch_count or 16,
             batch_size=args.batch_size or 64,
             query_length=query_length,
+            replay_workers=replay_workers,
+            replay_executor=args.replay_executor,
         )
         print(ex.format_fig18_window(result))
         if args.json:
@@ -453,12 +506,14 @@ def _run_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         window=args.window,
         workers=args.workers,
+        replay_workers=args.replay_workers,
+        replay_executor=args.replay_executor,
     )
     print(
         f"serving: reference {len(reference):,} bp, k={args.step}, "
         f"batch<={config.max_batch} @ {config.max_delay * 1e3:.1f} ms, "
         f"W={config.window}, queue<={config.queue_capacity}, "
-        f"workers={config.workers}"
+        f"workers={config.workers}, replay workers={config.replay_workers}"
         + ("" if accelerator else ", search-only")
     )
     submissions = []

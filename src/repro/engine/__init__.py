@@ -41,6 +41,7 @@ from .sharded import (
     BackendWorkerPool,
     ShardedQueryEngine,
     default_executor,
+    default_replay_workers,
     default_shards,
     merge_shard_stats,
     merge_traces,
@@ -75,6 +76,7 @@ __all__ = [
     "pack_requests",
     "create_backend",
     "default_executor",
+    "default_replay_workers",
     "default_shards",
     "merge_shard_stats",
     "merge_traces",

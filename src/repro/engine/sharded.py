@@ -62,11 +62,13 @@ __all__ = [
     "EXECUTORS",
     "EXECUTOR_ENV",
     "OVERSUBSCRIBE_ENV",
+    "REPLAY_WORKERS_ENV",
     "SHARDS_ENV",
     "BackendWorkerPool",
     "ShardedQueryEngine",
     "available_parallelism",
     "default_executor",
+    "default_replay_workers",
     "default_shards",
     "effective_shards",
     "merge_shard_stats",
@@ -91,6 +93,13 @@ EXECUTORS = ("thread", "process")
 #: not just the dedicated suite.
 SHARDS_ENV = "REPRO_DEFAULT_SHARDS"
 EXECUTOR_ENV = "REPRO_DEFAULT_EXECUTOR"
+
+#: Default replay-worker count for the epoch-parallel accelerator replay
+#: (:meth:`repro.accel.exma_accelerator.ExmaAccelerator.run_stream` and
+#: the serving layer), mirroring ``REPRO_DEFAULT_SHARDS`` for the search
+#: side.  Parsed by :func:`default_replay_workers` with the same
+#: defensive warn-once fallback.
+REPLAY_WORKERS_ENV = "REPRO_DEFAULT_REPLAY_WORKERS"
 
 #: When set truthy, :func:`effective_shards` stops clamping shard counts
 #: to the hardware — CI's sharded legs set it so the parallel path is
@@ -141,6 +150,38 @@ def default_shards() -> int:
         )
         return 1
     return shards
+
+
+def default_replay_workers() -> int:
+    """Replay workers used when not pinned (``REPRO_DEFAULT_REPLAY_WORKERS``).
+
+    The accelerator's :meth:`~repro.accel.exma_accelerator
+    .ExmaAccelerator.run_stream` consults this when the caller does not
+    pass ``replay_workers``.  Parsed exactly like :func:`default_shards`:
+    a malformed or non-positive value warns once per process and falls
+    back to serial replay instead of crashing a long-lived service.
+    """
+    raw = os.environ.get(REPLAY_WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        _warn_env_once(
+            REPLAY_WORKERS_ENV,
+            raw,
+            f"ignoring malformed {REPLAY_WORKERS_ENV}={raw!r} (expected a "
+            "positive integer); replaying serial",
+        )
+        return 1
+    if workers < 1:
+        _warn_env_once(
+            REPLAY_WORKERS_ENV,
+            raw,
+            f"ignoring non-positive {REPLAY_WORKERS_ENV}={raw!r}; replaying serial",
+        )
+        return 1
+    return workers
 
 
 def default_executor() -> str:
@@ -359,6 +400,21 @@ class BackendWorkerPool:
                 pool.submit(_call_worker, fn, args, shard) for shard in shard_lists
             ]
         return [future.result() for future in futures]
+
+    def submit(self, fn: Callable, item, *args):
+        """Schedule ``fn(backend, *args, item)`` on the pool; returns a Future.
+
+        Unlike :meth:`map_shards` this never runs inline: the single item
+        always crosses to a pool worker.  That is what the serving layer's
+        replay path wants — each batcher thread hands its flush to the
+        replay pool and blocks on the future, so with the process executor
+        the epoch replay escapes the submitting thread (and, for process
+        pools, the GIL) entirely.
+        """
+        pool = self._ensure()
+        if self._kind == "thread":
+            return pool.submit(fn, self._backend, *args, item)
+        return pool.submit(_call_worker, fn, args, item)
 
     def shutdown(self, wait: bool = True) -> None:
         """Shut the underlying executor down (no-op when never created)."""

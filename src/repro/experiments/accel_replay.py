@@ -15,6 +15,15 @@ packed request stream) against the request-at-a-time object reference
 Every timed pair is also checked for field-for-field equality, so the
 record doubles as an end-to-end divergence gate
 (``scripts/check_accel_replay.py``, wired into the CI bench-smoke leg).
+
+PR 8 grows the record an **epoch-parallel replay sweep**: each
+workload's queries split into batches whose W=1 flush epochs fan across
+``run_stream(replay_workers ∈ {1, 2, 4})``, every point verified
+field-for-field against the serial baseline and timed alongside the
+search that produced the streams (the whole-pipeline wall-clock).  The
+record carries ``host_cpus``/``available_cpus`` so a 1-CPU container
+records a truthful tie and the multicore CI leg gates real speedup
+(``scripts/check_replay_scaling.py``).
 Reproduce the committed record with::
 
     repro-exma experiment accel-replay --genome-length 60000 \
@@ -25,13 +34,16 @@ Reproduce the committed record with::
 from __future__ import annotations
 
 import json
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..accel.config import ExmaAcceleratorConfig, exma_full_config
 from ..accel.exma_accelerator import ExmaAccelerator
 from ..engine.backends import ExmaBackend
 from ..engine.engine import QueryEngine
+from ..engine.sharded import available_parallelism
+from ..engine.window import CoalescingWindow
 from ..exma.mtl_index import MTLIndex
 from ..exma.table import ExmaTable
 from ..genome.datasets import build_dataset
@@ -41,6 +53,7 @@ from .fig18_throughput import _scaled_config
 __all__ = [
     "AccelReplayResult",
     "AccelReplayRow",
+    "ReplayScalingRow",
     "accel_replay_report",
     "format_accel_replay",
     "run_accel_replay",
@@ -72,6 +85,51 @@ class AccelReplayRow:
 
 
 @dataclass(frozen=True)
+class ReplayScalingRow:
+    """One (workload, replay_workers) point of the epoch-parallel sweep.
+
+    Every timing is best-of-``repeats``; the serial baseline
+    (``serial_seconds``) is the same ``run_stream`` with
+    ``replay_workers=1``, measured on the same flush list — and
+    ``results_equal`` records whether this point's
+    :class:`~repro.accel.exma_accelerator.WindowedRunResult` was
+    field-for-field equal to the serial baseline's, so the sweep doubles
+    as the exact-equivalence gate (``scripts/check_replay_scaling.py``).
+    """
+
+    label: str
+    replay_workers: int
+    executor: str
+    flushes: int
+    requests: int
+    #: Best-of-repeats wall-clock of the parallel replay at this point.
+    seconds: float
+    #: Best-of-repeats wall-clock of the serial (workers=1) replay.
+    serial_seconds: float
+    #: Best-of-repeats wall-clock of the search producing the streams —
+    #: the other half of the whole-pipeline number.
+    search_seconds: float
+    results_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        """Serial-to-parallel replay wall-clock ratio (> 1 = parallel wins)."""
+        return self.serial_seconds / max(self.seconds, 1e-12)
+
+    @property
+    def pipeline_seconds(self) -> float:
+        """Whole-pipeline (search + replay) wall-clock at this point."""
+        return self.search_seconds + self.seconds
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Whole-pipeline serial-to-parallel ratio (Amdahl-damped)."""
+        return (self.search_seconds + self.serial_seconds) / max(
+            self.pipeline_seconds, 1e-12
+        )
+
+
+@dataclass(frozen=True)
 class AccelReplayResult:
     """The measured rows plus the workload shape that produced them."""
 
@@ -80,6 +138,12 @@ class AccelReplayResult:
     query_length: int
     seed: int
     repeats: int
+    #: Epoch-parallel sweep points (one per workload × worker count).
+    scaling_rows: list[ReplayScalingRow] = field(default_factory=list)
+    #: Executor the sweep fanned flush epochs across.
+    replay_executor: str = "thread"
+    #: Query batches (= W=1 flush epochs) the sweep split each workload into.
+    replay_batches: int = 0
 
 
 def _measure(
@@ -92,8 +156,19 @@ def _measure(
     repeats: int,
     config: ExmaAcceleratorConfig,
     mtl_epochs: int,
-) -> AccelReplayRow:
-    """Build one workload's request stream and time both replay paths."""
+    replay_workers: "tuple[int, ...]" = (),
+    replay_executor: str = "thread",
+    replay_batches: int = 8,
+) -> "tuple[AccelReplayRow, list[ReplayScalingRow]]":
+    """Build one workload's request stream and time both replay paths.
+
+    With *replay_workers* non-empty the same workload also runs the
+    epoch-parallel sweep: the queries split into *replay_batches* batches
+    whose W=1 flush epochs replay via ``run_stream(replay_workers=...)``
+    on *replay_executor* workers, each point verified field-for-field
+    against the serial baseline (and the search that produced the
+    streams timed alongside, for the whole-pipeline number).
+    """
     reference = build_dataset("human", simulated_length=genome_length, seed=seed)
     table = ExmaTable(reference.sequence, k=k)
     index = MTLIndex(
@@ -117,7 +192,7 @@ def _measure(
         object_result = accelerator.run_reference(materialised)
         object_seconds = min(object_seconds, time.perf_counter() - start)
 
-    return AccelReplayRow(
+    row = AccelReplayRow(
         label=label,
         genome_length=genome_length,
         queries=query_count,
@@ -128,6 +203,52 @@ def _measure(
         object_seconds=object_seconds,
         results_equal=columnar_result == object_result,
     )
+
+    scaling: list[ReplayScalingRow] = []
+    if replay_workers:
+        chunk = max(1, -(-len(queries) // replay_batches))
+        batches = [queries[i : i + chunk] for i in range(0, len(queries), chunk)]
+        search_seconds = float("inf")
+        streams = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            streams = [engine.request_stream(batch)[0] for batch in batches]
+            search_seconds = min(search_seconds, time.perf_counter() - start)
+        flushes = list(CoalescingWindow(1).stream(iter(streams)))
+        serial_seconds = float("inf")
+        serial_result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            serial_result = accelerator.run_stream(iter(flushes), replay_workers=1)
+            serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        total_requests = sum(flush.requests for flush in serial_result.flushes)
+        for workers in replay_workers:
+            seconds = float("inf")
+            result = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = accelerator.run_stream(
+                    iter(flushes),
+                    replay_workers=workers,
+                    executor=replay_executor,
+                )
+                seconds = min(seconds, time.perf_counter() - start)
+            scaling.append(
+                ReplayScalingRow(
+                    label=label,
+                    replay_workers=workers,
+                    executor=replay_executor,
+                    flushes=len(flushes),
+                    requests=total_requests,
+                    seconds=seconds,
+                    serial_seconds=serial_seconds,
+                    search_seconds=search_seconds,
+                    results_equal=result == serial_result,
+                )
+            )
+        accelerator.close()
+
+    return row, scaling
 
 
 def run_accel_replay(
@@ -141,6 +262,9 @@ def run_accel_replay(
     megabase_length: int = 0,
     megabase_query_count: int = 20_000,
     mtl_epochs: int = 60,
+    replay_workers: "tuple[int, ...]" = (1, 2, 4),
+    replay_executor: str = "thread",
+    replay_batches: int = 8,
 ) -> AccelReplayResult:
     """Time object vs columnar replay on the benchmark workloads.
 
@@ -148,38 +272,66 @@ def run_accel_replay(
     Fig. 18/20/22 experiment uses; the optional ``megabase`` row replays
     the Table-I configuration over a *megabase_length* reference.  Both
     rows verify exact result equality while they time.
+
+    Each workload additionally runs the epoch-parallel replay sweep
+    (``replay_workers``, empty tuple to disable): its queries split into
+    *replay_batches* batches, and the resulting W=1 flush epochs replay
+    through ``run_stream`` at every worker count on *replay_executor*
+    workers — each point checked field-for-field against the serial
+    baseline, with the producing search timed alongside so the record
+    carries the whole-pipeline (search + replay) wall-clock too.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    rows = [
-        _measure(
-            "fig18",
-            genome_length,
-            query_count,
+    replay_workers = tuple(replay_workers)
+    if any(workers < 1 for workers in replay_workers):
+        raise ValueError("replay_workers must all be >= 1")
+    if replay_workers and replay_batches < 1:
+        raise ValueError("replay_batches must be >= 1")
+    rows = []
+    scaling_rows: list[ReplayScalingRow] = []
+    row, scaling = _measure(
+        "fig18",
+        genome_length,
+        query_count,
+        query_length,
+        k,
+        seed,
+        repeats,
+        _scaled_config(exma_full_config()),
+        mtl_epochs,
+        replay_workers=replay_workers,
+        replay_executor=replay_executor,
+        replay_batches=replay_batches,
+    )
+    rows.append(row)
+    scaling_rows.extend(scaling)
+    if megabase_length:
+        row, scaling = _measure(
+            "megabase",
+            megabase_length,
+            megabase_query_count,
             query_length,
             k,
             seed,
             repeats,
-            _scaled_config(exma_full_config()),
+            exma_full_config(),
             mtl_epochs,
+            replay_workers=replay_workers,
+            replay_executor=replay_executor,
+            replay_batches=replay_batches,
         )
-    ]
-    if megabase_length:
-        rows.append(
-            _measure(
-                "megabase",
-                megabase_length,
-                megabase_query_count,
-                query_length,
-                k,
-                seed,
-                repeats,
-                exma_full_config(),
-                mtl_epochs,
-            )
-        )
+        rows.append(row)
+        scaling_rows.extend(scaling)
     return AccelReplayResult(
-        rows=rows, k=k, query_length=query_length, seed=seed, repeats=repeats
+        rows=rows,
+        k=k,
+        query_length=query_length,
+        seed=seed,
+        repeats=repeats,
+        scaling_rows=scaling_rows,
+        replay_executor=replay_executor,
+        replay_batches=replay_batches if replay_workers else 0,
     )
 
 
@@ -200,13 +352,40 @@ def format_accel_replay(result: AccelReplayResult) -> str:
             f"{row.columnar_seconds:11.4f} {row.speedup:7.1f}x "
             f"{'yes' if row.results_equal else 'NO':>6s}"
         )
+    if result.scaling_rows:
+        lines.append("")
+        lines.append(
+            f"epoch-parallel replay sweep ({result.replay_executor} executor, "
+            f"{result.replay_batches} flush epochs, best of {result.repeats}; "
+            f"host cpus={os.cpu_count()}, available={available_parallelism()})"
+        )
+        lines.append(
+            f"{'row':>9s} {'workers':>8s} {'serial s':>9s} {'parallel s':>11s} "
+            f"{'speedup':>8s} {'pipeline s':>11s} {'pipe x':>7s} {'equal':>6s}"
+        )
+        for row in result.scaling_rows:
+            lines.append(
+                f"{row.label:>9s} {row.replay_workers:8d} {row.serial_seconds:9.4f} "
+                f"{row.seconds:11.4f} {row.speedup:7.2f}x "
+                f"{row.pipeline_seconds:11.4f} {row.pipeline_speedup:6.2f}x "
+                f"{'yes' if row.results_equal else 'NO':>6s}"
+            )
     return "\n".join(lines)
 
 
 def accel_replay_report(result: AccelReplayResult, **workload) -> dict:
-    """The comparison as a JSON-ready record (``BENCH_accel_replay.json``)."""
+    """The comparison as a JSON-ready record (``BENCH_accel_replay.json``).
+
+    Follows ``BENCH_shard_scaling.json``'s honesty convention: the
+    record carries ``host_cpus``/``available_cpus`` and every timing is
+    best-of-repeats, so a 1-CPU container records a truthful ~1× tie in
+    the epoch-parallel sweep while the multicore CI leg gates real
+    speedup (``scripts/check_replay_scaling.py``).
+    """
     return {
         "benchmark": "accel_replay",
+        "host_cpus": os.cpu_count(),
+        "available_cpus": available_parallelism(),
         "workload": {
             "k": result.k,
             "query_length": result.query_length,
@@ -229,6 +408,27 @@ def accel_replay_report(result: AccelReplayResult, **workload) -> dict:
             }
             for row in result.rows
         ],
+        "replay_scaling": {
+            "executor": result.replay_executor,
+            "batches": result.replay_batches,
+            "rows": [
+                {
+                    "label": row.label,
+                    "replay_workers": row.replay_workers,
+                    "executor": row.executor,
+                    "flushes": row.flushes,
+                    "requests": row.requests,
+                    "serial_seconds": row.serial_seconds,
+                    "seconds": row.seconds,
+                    "speedup": round(row.speedup, 3),
+                    "search_seconds": row.search_seconds,
+                    "pipeline_seconds": row.pipeline_seconds,
+                    "pipeline_speedup": round(row.pipeline_speedup, 3),
+                    "results_equal": row.results_equal,
+                }
+                for row in result.scaling_rows
+            ],
+        },
     }
 
 

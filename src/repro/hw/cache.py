@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .jit import jit_recurrence
+
 
 @dataclass
 class CacheStats:
@@ -186,7 +188,21 @@ def simulate_lru_hits(
     )
     rounds = int(group_size.max())
 
-    if rounds * 8 > head_tags.size and rounds > 32:
+    if _lru_heads_jit is not None:
+        # Compiled flat exact-LRU pass: the same recency update as the
+        # round/sequential fallbacks, one scalar loop over the heads in
+        # their set-grouped order.  Beats both fallbacks at every shape,
+        # and releases the GIL for the epoch-parallel replay workers.
+        group_of_head = np.repeat(
+            np.arange(group_size.size, dtype=np.int64), group_size
+        )
+        head_hits = _lru_heads_jit(
+            np.ascontiguousarray(head_tags, dtype=np.int64),
+            group_of_head,
+            int(associativity),
+            int(group_size.size),
+        )
+    elif rounds * 8 > head_tags.size and rounds > 32:
         # Skewed towards few sets: per-round matrices would be narrower
         # than their own dispatch overhead.  Same semantics, flat pass.
         head_hits = np.empty(head_tags.size, dtype=bool)
@@ -198,6 +214,44 @@ def simulate_lru_hits(
     hit_grouped[head_slots] = head_hits
     hits[order] = hit_grouped
     return hits
+
+
+def _lru_heads(
+    head_tags: np.ndarray,
+    group_of_head: np.ndarray,
+    associativity: int,
+    group_count: int,
+) -> np.ndarray:
+    """Exact LRU over collapsed run heads, one scalar pass (numba shape).
+
+    *head_tags*/*group_of_head* are the set-grouped head columns that
+    :func:`simulate_lru_hits` builds; each group's heads appear in their
+    original access order, so per-group LRU over this order equals
+    per-set LRU over the original sequence.  Tags are non-negative, so
+    ``-1`` marks an empty way — the same convention as
+    :func:`_simulate_rounds`.
+    """
+    state = np.full((group_count, associativity), -1, dtype=np.int64)
+    hits = np.empty(head_tags.size, dtype=np.bool_)
+    for index in range(head_tags.size):
+        group = group_of_head[index]
+        tag = head_tags[index]
+        way = associativity - 1
+        hit = False
+        for probe in range(associativity):
+            if state[group, probe] == tag:
+                way = probe
+                hit = True
+                break
+        for slot in range(way, 0, -1):
+            state[group, slot] = state[group, slot - 1]
+        state[group, 0] = tag
+        hits[index] = hit
+    return hits
+
+
+#: numba-compiled head-LRU pass, or ``None`` when numba is absent/disabled.
+_lru_heads_jit = jit_recurrence(_lru_heads)
 
 
 def _simulate_rounds(

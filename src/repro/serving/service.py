@@ -55,7 +55,9 @@ from ..accel.exma_accelerator import (
     ExmaAccelerator,
     WindowedRunResult,
 )
+from ..accel.parallel import ParallelReplay
 from ..engine.engine import QueryEngine
+from ..engine.sharded import EXECUTORS
 from ..index.fmindex import Interval
 from .workers import BatcherWorker
 
@@ -142,6 +144,18 @@ class ServingConfig:
             window; batches are still formed one at a time under the
             service lock, so fairness and the per-partition offline
             equivalence are unchanged.
+        replay_workers: size of the shared epoch-replay pool
+            (:class:`~repro.accel.parallel.ParallelReplay`) the batcher
+            workers hand their flushes to.  At 1 (the default) each
+            batcher replays its flush inline, exactly as before; above 1
+            every flush is offloaded to the pool — the batcher blocks on
+            its own flush, but flushes from different batchers overlap,
+            and with the process executor the replay escapes the GIL.
+            Flush results are unchanged either way (the exact-equivalence
+            contract).
+        replay_executor: executor kind of the replay pool (``"thread"``
+            or ``"process"``; ``None`` defers to the
+            ``REPRO_DEFAULT_EXECUTOR`` environment toggle).
         stats_retention: how many completed-query latencies (and flush
             results) the service retains, oldest-first truncation beyond.
             Percentiles and :meth:`QueryService.result` are exact while
@@ -159,6 +173,8 @@ class ServingConfig:
     window: int = 1
     idle_timeout: float = 0.05
     workers: int = 1
+    replay_workers: int = 1
+    replay_executor: str | None = None
     stats_retention: int = 200_000
     name: str = "EXMA-serving"
 
@@ -175,6 +191,13 @@ class ServingConfig:
             raise ValueError("idle_timeout must be > 0")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.replay_workers < 1:
+            raise ValueError("replay_workers must be >= 1")
+        if self.replay_executor is not None and self.replay_executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown replay_executor {self.replay_executor!r}; "
+                f"available: {', '.join(EXECUTORS)}"
+            )
         if self.stats_retention < 1:
             raise ValueError("stats_retention must be >= 1")
 
@@ -463,6 +486,18 @@ class QueryService(object):
         self._flushes: "deque[AcceleratorRunResult]" = deque(
             maxlen=self._config.stats_retention
         )
+        #: Shared epoch-replay driver all batcher workers hand their
+        #: flushes to; at ``replay_workers == 1`` it replays inline (no
+        #: pool exists), so the single-worker path is unchanged.
+        self._replay = (
+            ParallelReplay(
+                accelerator,
+                workers=self._config.replay_workers,
+                executor=self._config.replay_executor,
+            )
+            if accelerator is not None
+            else None
+        )
         self._workers = [
             BatcherWorker(self, index, engine if index == 0 else engine.clone())
             for index in range(self._config.workers)
@@ -487,6 +522,11 @@ class QueryService(object):
     def workers(self) -> list[BatcherWorker]:
         """The batcher workers, in index order."""
         return list(self._workers)
+
+    @property
+    def replay(self) -> ParallelReplay | None:
+        """The shared epoch-replay driver (None when serving search-only)."""
+        return self._replay
 
     @property
     def running(self) -> bool:
@@ -531,6 +571,8 @@ class QueryService(object):
             # Never-started service: drain inline so submitted work still
             # completes deterministically.
             self._workers[0].finish()
+        if self._replay is not None:
+            self._replay.close()
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -654,6 +696,17 @@ class QueryService(object):
                     break
                 self._wakeup.wait(remaining)
             return self._take_batch()
+
+    def _replay_flush(self, flushed) -> AcceleratorRunResult:
+        """Replay one flushed window through the shared replay driver.
+
+        The single replay entry point of every batcher worker: inline at
+        ``replay_workers == 1``, offloaded to the persistent pool above —
+        either way the result is field-for-field what
+        :meth:`~repro.accel.exma_accelerator.ExmaAccelerator.replay_flush`
+        returns, so the offline-equivalence pin is untouched.
+        """
+        return self._replay.replay_flush(flushed, name=self._config.name)
 
     def _record_flush(self, run: AcceleratorRunResult, flushed) -> int:
         """Account one replayed flush (called by the worker that ran it);

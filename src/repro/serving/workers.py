@@ -135,9 +135,16 @@ class BatcherWorker:
         service._observe_service_time(service._clock() - started)
 
     def replay(self, flushed) -> None:
-        """Replay one flushed window — the worker's unit of work."""
+        """Replay one flushed window — the worker's unit of work.
+
+        Goes through the service's shared :class:`~repro.accel.parallel
+        .ParallelReplay`: inline when ``replay_workers == 1``, offloaded
+        to the persistent replay pool otherwise (this thread blocks on
+        its own flush; flushes from other batcher workers overlap in the
+        pool).
+        """
         service = self._service
-        run = service._accelerator.replay_flush(flushed, name=service.config.name)
+        run = service._replay_flush(flushed)
         pendings = [pending for batch in self._in_window for pending in batch]
         self._in_window = []
         self._flushes.append(run)

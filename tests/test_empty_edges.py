@@ -102,6 +102,44 @@ class TestEmptyCoalescingWindow:
         assert accelerator.replay_flush(flushed) == accelerator.run(flushed)
 
 
+class TestParallelReplayEdges:
+    """The parallel replay layer must degrade exactly like serial on the
+    idle edges: an empty stream fans out zero epochs, a single flush runs
+    inline, and both report the same all-zero aggregates."""
+
+    def test_run_stream_empty_iterator_parallel(self, accelerator):
+        result = accelerator.run_stream(iter([]), replay_workers=2)
+        assert result.flushes == []
+        assert result.windows == 0
+        assert result.batches == 0
+        assert result.issued == 0
+        accelerator.close()
+
+    def test_run_windowed_empty_stream_parallel(self, accelerator):
+        result = accelerator.run_windowed(iter([]), window=2, replay_workers=2)
+        assert result == accelerator.run_windowed(iter([]), window=2)
+        accelerator.close()
+
+    def test_single_flush_runs_inline(self, engine, accelerator):
+        """One epoch is not worth a pool round-trip: the single-flush
+        stream replays inline and still equals the serial result."""
+        requests, _ = engine.request_stream(["ACGTACGT", "TTTTACGT"])
+        serial = accelerator.run_windowed([requests], window=4)
+        parallel = accelerator.run_windowed([requests], window=4, replay_workers=2)
+        assert parallel == serial
+        accelerator.close()
+
+    def test_all_empty_flushes_parallel(self, engine, accelerator):
+        """Zero-request flushes survive the pool round-trip unchanged."""
+        streams = [engine.search_batch([]).stats.requests for _ in range(4)]
+        serial = accelerator.run_windowed(streams, window=1)
+        parallel = accelerator.run_windowed(streams, window=1, replay_workers=2)
+        assert parallel == serial
+        assert parallel.requests == 0
+        assert parallel.batches == 4
+        accelerator.close()
+
+
 class TestEmptyEngineBatch:
     def test_search_batch_empty(self, engine):
         result = engine.search_batch([])

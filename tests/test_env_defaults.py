@@ -15,7 +15,7 @@ import pytest
 import repro.engine.sharded as sharded
 from repro.engine.backends import FMIndexBackend
 from repro.engine.engine import QueryEngine
-from repro.engine.sharded import default_executor, default_shards
+from repro.engine.sharded import default_executor, default_replay_workers, default_shards
 
 
 @pytest.fixture(autouse=True)
@@ -69,6 +69,65 @@ class TestDefaultShards:
         monkeypatch.setenv(sharded.SHARDS_ENV, "also-bogus")
         with pytest.warns(RuntimeWarning):
             default_shards()
+
+
+class TestDefaultReplayWorkers:
+    """REPRO_DEFAULT_REPLAY_WORKERS mirrors the shard toggle's contract:
+    malformed or non-positive values warn once and fall back to serial
+    replay — an always-on service must never crash on an operator typo."""
+
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(sharded.REPLAY_WORKERS_ENV, raising=False)
+        assert default_replay_workers() == 1
+
+    def test_blank_means_serial(self, monkeypatch):
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, "   ")
+        assert default_replay_workers() == 1
+
+    def test_valid_value_parses_with_whitespace(self, monkeypatch):
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, " 4 ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning is a failure
+            assert default_replay_workers() == 4
+
+    @pytest.mark.parametrize("raw", ["auto", "2.5", "2 workers", ""])
+    def test_malformed_value_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, raw)
+        if not raw.strip():
+            assert default_replay_workers() == 1
+            return
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert default_replay_workers() == 1
+
+    @pytest.mark.parametrize("raw", ["0", "-2"])
+    def test_non_positive_value_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, raw)
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert default_replay_workers() == 1
+
+    def test_warns_once_per_value(self, monkeypatch):
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, "bogus")
+        with pytest.warns(RuntimeWarning):
+            default_replay_workers()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_replay_workers() == 1  # second read: silent fallback
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, "also-bogus")
+        with pytest.warns(RuntimeWarning):
+            default_replay_workers()
+
+    def test_independent_of_shard_toggle(self, monkeypatch):
+        """The two knobs are separate axes: shard env does not leak into
+        the replay default and vice versa."""
+        monkeypatch.setenv(sharded.SHARDS_ENV, "8")
+        monkeypatch.delenv(sharded.REPLAY_WORKERS_ENV, raising=False)
+        assert default_replay_workers() == 1
+        monkeypatch.setenv(sharded.REPLAY_WORKERS_ENV, "2")
+        monkeypatch.delenv(sharded.SHARDS_ENV, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_replay_workers() == 2
+            assert default_shards() == 1
 
 
 class TestDefaultExecutor:

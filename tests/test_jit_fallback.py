@@ -1,0 +1,105 @@
+"""The optional numba fast paths and their pure-Python fallbacks.
+
+:mod:`repro.hw.jit` compiles the two surviving scalar recurrences — the
+DRAM bus/bank/stream timing chain and the exact-LRU head pass — when
+numba is importable, and hands back ``None`` otherwise so the call sites
+keep their tuned numpy fallbacks.  The contract is **bit-identical
+outputs** on both paths; the jit-vs-fallback comparisons here only run
+where numba exists (the CI image), while the gate/dispatch tests run
+everywhere (the dev container has no numba, which is itself a covered
+configuration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import cache as hw_cache
+from repro.hw import dram as hw_dram
+from repro.hw import jit as hw_jit
+
+
+class TestNumbaGate:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [("1", True), ("true", True), ("YES", True), ("on", True), ("", False)],
+    )
+    def test_disable_env_truthy_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(hw_jit.NO_NUMBA_ENV, raw)
+        assert hw_jit.numba_disabled() is expected
+
+    def test_disable_env_unset_or_falsy(self, monkeypatch):
+        monkeypatch.delenv(hw_jit.NO_NUMBA_ENV, raising=False)
+        assert not hw_jit.numba_disabled()
+        monkeypatch.setenv(hw_jit.NO_NUMBA_ENV, "0")
+        assert not hw_jit.numba_disabled()
+
+    def test_jit_recurrence_matches_have_numba(self):
+        """jit_recurrence returns a compiled callable iff numba loaded."""
+        compiled = hw_jit.jit_recurrence(lambda x: x)
+        assert (compiled is not None) == hw_jit.HAVE_NUMBA
+
+    def test_module_level_jits_consistent(self):
+        """The dram/cache modules hold a jit exactly when numba loaded."""
+        assert (hw_dram._bus_recurrence_jit is not None) == hw_jit.HAVE_NUMBA
+        assert (hw_cache._lru_heads_jit is not None) == hw_jit.HAVE_NUMBA
+
+
+def _bus_columns(rng, n=400, bank_count=8, stream_count=5):
+    return (
+        np.ascontiguousarray(rng.integers(0, bank_count, n), dtype=np.int64),
+        np.ascontiguousarray(rng.integers(0, stream_count, n), dtype=np.int64),
+        np.ascontiguousarray(rng.integers(1, 6, n), dtype=np.int64),
+        np.ascontiguousarray(rng.integers(1, 48, n), dtype=np.int64),
+        np.ascontiguousarray(rng.integers(1, 9, n), dtype=np.int64),
+        np.ascontiguousarray(rng.integers(0, 20, n), dtype=np.int64),
+        bank_count,
+        stream_count,
+    )
+
+
+@pytest.mark.skipif(not hw_jit.HAVE_NUMBA, reason="numba absent or disabled")
+class TestJitEqualsFallback:
+    """Where numba exists, the compiled recurrences must be bit-identical
+    to the pure-Python originals on arbitrary valid columns."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bus_recurrence(self, seed):
+        args = _bus_columns(np.random.default_rng(seed))
+        assert int(hw_dram._bus_recurrence_jit(*args)) == int(
+            hw_dram._bus_recurrence(*args)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lru_heads(self, seed):
+        rng = np.random.default_rng(seed)
+        group_count, associativity = 6, 4
+        head_tags = np.ascontiguousarray(rng.integers(0, 12, 300), dtype=np.int64)
+        group_of_head = np.ascontiguousarray(
+            rng.integers(0, group_count, 300), dtype=np.int64
+        )
+        jit_hits = hw_cache._lru_heads_jit(
+            head_tags, group_of_head, associativity, group_count
+        )
+        py_hits = hw_cache._lru_heads(
+            head_tags, group_of_head, associativity, group_count
+        )
+        assert np.array_equal(jit_hits, py_hits)
+
+
+class TestPublicDispatch:
+    """Whichever path is active, the public entry points agree with the
+    object-model references (belt over the hypothesis oracles)."""
+
+    def test_simulate_lru_hits_vs_reference_cache(self):
+        rng = np.random.default_rng(7)
+        addresses = rng.integers(0, 4096, 500) * 8
+        hits = hw_cache.simulate_lru_hits(
+            addresses, capacity_bytes=2048, line_bytes=64, associativity=4
+        )
+        reference = hw_cache.SetAssociativeCache(
+            capacity_bytes=2048, line_bytes=64, associativity=4
+        )
+        expected = np.array([reference.access(int(a)) for a in addresses])
+        assert np.array_equal(hits, expected)

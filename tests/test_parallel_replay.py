@@ -1,0 +1,265 @@
+"""Epoch-parallel replay equivalence suite.
+
+Every ``run_stream`` flush is an independent scheduling epoch — the
+scheduler, caches and DRAM state start fresh per flush (the PR 4
+contract) — so fanning epochs across a worker pool is pure reassembly:
+:class:`repro.accel.parallel.ParallelReplay` must produce a
+:class:`~repro.accel.exma_accelerator.WindowedRunResult` that is
+**field-for-field identical** (dataclass equality over every counter,
+cache/DRAM stat and energy ledger) to the serial loop, for the request
+streams of all six engine backends, at every worker count, on both pool
+kinds.  Anything less and the parallel path is not allowed to exist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import ExmaAccelerator, ExmaAcceleratorConfig, ParallelReplay
+from repro.engine import CoalescingWindow, QueryEngine, create_backend
+from repro.engine.backends import ExmaBackend, FMIndexBackend, LisaBackend
+from repro.exma.mtl_index import MTLIndex
+from repro.exma.table import ExmaTable
+from repro.lisa.search import LisaIndex
+from repro.serving import QueryService, ServingConfig
+from repro.testing import random_queries, reference_and_queries
+
+BACKEND_NAMES = ("fmindex", "exma", "exma-learned", "exma-mtl", "lisa", "lisa-learned")
+
+#: Worker counts the sweep pins (1 is the serial reference itself).
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    reference, _ = reference_and_queries(genome_length=900, seed=3)
+    batches = [
+        random_queries(reference, count=10, length=18, seed=20 + i) for i in range(4)
+    ]
+    return reference, batches
+
+
+@pytest.fixture(scope="module")
+def backends(workload):
+    reference, _ = workload
+    table = ExmaTable(reference, k=4)
+    mtl = MTLIndex(table, model_threshold=8, samples_per_kmer=32, epochs=30, seed=0)
+    return {
+        "fmindex": FMIndexBackend(reference),
+        "exma": ExmaBackend(table=table),
+        "exma-learned": create_backend("exma-learned", reference, k=4, model_threshold=8),
+        "exma-mtl": ExmaBackend(table=table, index=mtl),
+        "lisa": LisaBackend(reference, k=3),
+        "lisa-learned": LisaBackend(
+            lisa_index=LisaIndex(reference, k=3, use_learned_index=True)
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def accelerator(workload):
+    reference, _ = workload
+    table = ExmaTable(reference, k=4)
+    config = ExmaAcceleratorConfig().with_overrides(
+        base_cache_bytes=2048, index_cache_bytes=1024, cam_entries=32
+    )
+    accelerator = ExmaAccelerator(table, None, config)
+    yield accelerator
+    accelerator.close()
+
+
+@pytest.fixture(scope="module")
+def streams(workload, backends):
+    """Per-backend: the columnar request stream of every consecutive batch."""
+    _, batches = workload
+    per_backend = {}
+    for name, backend in backends.items():
+        engine = QueryEngine(backend)
+        per_backend[name] = [engine.request_stream(queries)[0] for queries in batches]
+    return per_backend
+
+
+@pytest.fixture(scope="module")
+def serial_results(streams, accelerator):
+    """The serial anchors every parallel run must reproduce exactly."""
+    return {
+        name: accelerator.run_windowed(batch_streams, window=2)
+        for name, batch_streams in streams.items()
+    }
+
+
+# --------------------------------------------------------------------- #
+# The equivalence contract
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_thread_pool_field_for_field(
+        self, name, workers, streams, accelerator, serial_results
+    ):
+        result = accelerator.run_windowed(
+            streams[name], window=2, replay_workers=workers, executor="thread"
+        )
+        assert result == serial_results[name]
+
+    def test_process_pool_field_for_field(
+        self, name, streams, accelerator, serial_results
+    ):
+        """The process pool ships the accelerator once via the pool
+        initializer; every epoch result must survive the pickle round
+        trip unchanged."""
+        result = accelerator.run_windowed(
+            streams[name], window=2, replay_workers=2, executor="process"
+        )
+        assert result == serial_results[name]
+
+
+class TestPlainRequestSequences:
+    """run_stream also accepts raw request sequences (not windowed
+    batches): the parallel path must keep the same batches/issued
+    accounting — one batch and len(requests) issued per epoch."""
+
+    def test_request_lists_parallel_equals_serial(self, streams, accelerator):
+        epochs = [list(stream.materialize()) for stream in streams["exma"]]
+        serial = accelerator.run_stream(iter(epochs))
+        parallel = accelerator.run_stream(iter(epochs), replay_workers=2)
+        assert parallel == serial
+        assert parallel.batches == len(epochs)
+        assert parallel.issued == sum(len(epoch) for epoch in epochs)
+
+
+class TestParallelReplayDriver:
+    def test_replay_flush_matches_accelerator(self, streams, accelerator):
+        flushes = list(CoalescingWindow(2).stream(streams["exma"]))
+        with ParallelReplay(accelerator, workers=2, executor="thread") as replay:
+            for flushed in flushes:
+                assert replay.replay_flush(flushed) == accelerator.replay_flush(flushed)
+
+    def test_workers_validated(self, accelerator):
+        with pytest.raises(ValueError):
+            ParallelReplay(accelerator, workers=0)
+        with pytest.raises(ValueError):
+            ParallelReplay(accelerator, workers=2, executor="greenlet")
+
+    def test_close_is_idempotent(self, accelerator):
+        replay = ParallelReplay(accelerator, workers=2)
+        replay.close()
+        replay.close()
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_swapped_and_closed(self, streams, accelerator):
+        """Same knobs reuse the owned driver; changed knobs swap it;
+        close() releases it — and every configuration stays exact."""
+        serial = accelerator.run_windowed(streams["fmindex"], window=2)
+
+        first = accelerator.run_windowed(streams["fmindex"], window=2, replay_workers=2)
+        driver = accelerator.replay
+        assert driver is not None and driver.workers == 2
+
+        second = accelerator.run_windowed(streams["fmindex"], window=2, replay_workers=2)
+        assert accelerator.replay is driver  # reused, not rebuilt
+
+        third = accelerator.run_windowed(streams["fmindex"], window=2, replay_workers=4)
+        assert accelerator.replay is not driver  # swapped on knob change
+        assert accelerator.replay.workers == 4
+
+        accelerator.close()
+        assert accelerator.replay is None
+        assert first == serial and second == serial and third == serial
+
+    def test_serial_run_leaves_no_pool(self, streams, accelerator):
+        accelerator.close()
+        accelerator.run_windowed(streams["fmindex"], window=2, replay_workers=1)
+        assert accelerator.replay is None
+
+
+class TestKnobResolution:
+    def test_explicit_workers_win_verbatim(self, accelerator):
+        """An explicit count is honoured even on a single-core host (the
+        forced-shard split's contract): no hardware clamp applies."""
+        assert accelerator._resolve_replay_workers(4) == 4
+
+    def test_invalid_explicit_workers(self, accelerator):
+        with pytest.raises(ValueError):
+            accelerator._resolve_replay_workers(0)
+
+    def test_env_default_picked_up(self, monkeypatch, streams, accelerator):
+        """REPRO_DEFAULT_REPLAY_WORKERS re-points the default path at the
+        pool (oversubscribe lifts the single-core clamp), and the result
+        still equals serial."""
+        monkeypatch.setenv("REPRO_DEFAULT_REPLAY_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SHARD_OVERSUBSCRIBE", "1")
+        serial = accelerator.run_windowed(streams["exma"], window=2, replay_workers=1)
+        result = accelerator.run_windowed(streams["exma"], window=2)
+        assert accelerator.replay is not None and accelerator.replay.workers == 2
+        assert result == serial
+        accelerator.close()
+
+    def test_env_default_clamped_without_oversubscribe(
+        self, monkeypatch, streams, accelerator
+    ):
+        """Without the oversubscribe toggle the env default degrades to
+        the host's parallelism — serial replay on a single-core box, and
+        never a pool bigger than the machine."""
+        from repro.engine.sharded import available_parallelism
+
+        monkeypatch.setenv("REPRO_DEFAULT_REPLAY_WORKERS", "64")
+        monkeypatch.delenv("REPRO_SHARD_OVERSUBSCRIBE", raising=False)
+        accelerator.close()
+        accelerator.run_windowed(streams["exma"], window=2)
+        driver = accelerator.replay
+        if available_parallelism() == 1:
+            assert driver is None
+        else:
+            assert driver is not None
+            assert driver.workers <= available_parallelism()
+        accelerator.close()
+
+
+# --------------------------------------------------------------------- #
+# Serving integration
+# --------------------------------------------------------------------- #
+
+
+class TestServingReplayWorkers:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(replay_workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(replay_executor="greenlet")
+
+    def test_service_shares_one_parallel_replay(self, workload):
+        """A replay_workers=2 service serves the same intervals as the
+        plain engine and funnels every batcher's flush through one shared
+        ParallelReplay over the pool."""
+        reference, batches = workload
+        table = ExmaTable(reference, k=4)
+        engine = QueryEngine(ExmaBackend(table=table))
+        accelerator = ExmaAccelerator(table, None)
+        config = ServingConfig(
+            max_batch=16, max_delay=0.005, window=2, workers=2, replay_workers=2
+        )
+        queries = [query for batch in batches for query in batch]
+        expected = engine.search_batch(queries)
+        with QueryService(engine, accelerator, config) as service:
+            assert service.replay is not None
+            assert service.replay.workers == 2
+            tickets = [service.submit([query]) for query in queries]
+            service.stop()
+            intervals = [
+                outcome.interval
+                for ticket in tickets
+                for outcome in ticket.result(timeout=60.0)
+            ]
+        assert intervals == expected.intervals
+        assert service.stats.flushes >= 1
+
+    def test_search_only_service_has_no_replay(self, workload):
+        reference, _ = workload
+        engine = QueryEngine(ExmaBackend(table=ExmaTable(reference, k=4)))
+        with QueryService(engine, None, ServingConfig(replay_workers=2)) as service:
+            assert service.replay is None
+            service.stop()

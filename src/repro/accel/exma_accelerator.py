@@ -267,6 +267,21 @@ class ExmaAccelerator:
         """The persistent parallel-replay driver, or ``None`` (serial)."""
         return self._replay
 
+    @property
+    def table(self) -> ExmaTable:
+        """The EXMA table this accelerator replays against."""
+        return self._table
+
+    @property
+    def index(self) -> "MTLIndex | None":
+        """The MTL index, or ``None`` (exact Occ resolution)."""
+        return self._index
+
+    @property
+    def config(self) -> ExmaAcceleratorConfig:
+        """The accelerator configuration (needed to clone design points)."""
+        return self._config
+
     @staticmethod
     def _resolve_replay_workers(replay_workers: "int | None") -> int:
         """Explicit knob wins verbatim; the env default is hardware-clamped.

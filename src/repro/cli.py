@@ -41,6 +41,7 @@ GB = 1024**3
 #: Experiments runnable from the CLI, mapped to their harness entry points.
 EXPERIMENT_NAMES = (
     "accel-replay",
+    "dse",
     "fig1",
     "fig6",
     "fig10",
@@ -154,11 +155,26 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (each batch's flush is one parallel epoch)",
     )
     experiment.add_argument(
+        "--grid",
+        default=None,
+        metavar="SPEC",
+        help="dse: the sweep grid as ';'-separated axes, e.g. "
+        '"cam=64,128;base_ways=4,8;page=close,dynamic;window=1,2;mtl=16,64" '
+        "(default: the built-in 4-knob toy grid)",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dse: design-point jobs running concurrently on the worker "
+        "pool (--replay-executor picks the pool kind; default: serial)",
+    )
+    experiment.add_argument(
         "--json",
         default=None,
         metavar="PATH",
         help="also write the shard-scaling / window-capacity / accel-replay "
-        "record to PATH as JSON",
+        "/ dse record to PATH as JSON",
     )
     _add_sharding_flags(experiment)
 
@@ -379,6 +395,27 @@ def _run_experiment(args: argparse.Namespace) -> int:
             return 1
         if not all(row.results_equal for row in result.scaling_rows):
             print("ERROR: parallel replay diverged from the serial epoch order")
+            return 1
+    elif name == "dse":
+        result = ex.run_dse(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            query_count=args.batch_size or 800,
+            query_length=args.query_length or 48,
+            batches=args.batch_count or 8,
+            grid=args.grid,
+            workers=args.workers or 1,
+            executor=args.replay_executor or "thread",
+        )
+        print(ex.format_dse(result))
+        if args.json:
+            ex.write_dse_json(args.json, result)
+            print(f"wrote {args.json}")
+        if not result.baseline_matches_run:
+            print("ERROR: baseline design point diverged from ExmaAccelerator.run")
+            return 1
+        if not all(point.rederived_equal for point in result.frontier):
+            print("ERROR: a frontier point did not re-derive bit-identically")
             return 1
     elif name == "fig1":
         print(ex.format_fig1(ex.run_fig1(genome_length=args.genome_length, seed=args.seed)))

@@ -14,7 +14,7 @@ packed request stream) against the request-at-a-time object reference
 
 Every timed pair is also checked for field-for-field equality, so the
 record doubles as an end-to-end divergence gate
-(``scripts/check_accel_replay.py``, wired into the CI bench-smoke leg).
+(``scripts/ci_gates.py --gate accel-replay``, wired into the CI bench-smoke leg).
 
 PR 8 grows the record an **epoch-parallel replay sweep**: each
 workload's queries split into batches whose W=1 flush epochs fan across
@@ -23,7 +23,7 @@ field-for-field against the serial baseline and timed alongside the
 search that produced the streams (the whole-pipeline wall-clock).  The
 record carries ``host_cpus``/``available_cpus`` so a 1-CPU container
 records a truthful tie and the multicore CI leg gates real speedup
-(``scripts/check_replay_scaling.py``).
+(``scripts/ci_gates.py --gate replay-scaling``).
 Reproduce the committed record with::
 
     repro-exma experiment accel-replay --genome-length 60000 \
@@ -94,7 +94,7 @@ class ReplayScalingRow:
     ``results_equal`` records whether this point's
     :class:`~repro.accel.exma_accelerator.WindowedRunResult` was
     field-for-field equal to the serial baseline's, so the sweep doubles
-    as the exact-equivalence gate (``scripts/check_replay_scaling.py``).
+    as the exact-equivalence gate (``scripts/ci_gates.py --gate replay-scaling``).
     """
 
     label: str
@@ -380,7 +380,7 @@ def accel_replay_report(result: AccelReplayResult, **workload) -> dict:
     record carries ``host_cpus``/``available_cpus`` and every timing is
     best-of-repeats, so a 1-CPU container records a truthful ~1× tie in
     the epoch-parallel sweep while the multicore CI leg gates real
-    speedup (``scripts/check_replay_scaling.py``).
+    speedup (``scripts/ci_gates.py --gate replay-scaling``).
     """
     return {
         "benchmark": "accel_replay",

@@ -19,11 +19,11 @@ harnesses share one stack (index, accelerator, Zipf query pool):
   rejection-rate and latency-vs-load curve.  The **knee** is the last
   rung the service absorbs with its rejection rate under the threshold;
   the sweep only proves saturation was *reached* when the top rung
-  actually rejects (``saturated``), which ``scripts/check_serving.py``
+  actually rejects (``saturated``), which ``scripts/ci_gates.py --gate serving``
   gates on — a ladder that never overloads the service measures nothing.
 
 Both land in ``BENCH_serving.json`` (rows + ``sweep``), gated at toy
-scale by ``scripts/check_serving.py`` in the CI bench-smoke leg and at
+scale by ``scripts/ci_gates.py --gate serving`` in the CI bench-smoke leg and at
 multicore scale — where workers=2 must sustain strictly more than
 workers=1 at the knee — in the tests-multicore leg.
 """

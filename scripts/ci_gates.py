@@ -563,6 +563,88 @@ def gate_dse(run: GateRun) -> None:
     )
 
 
+@register(
+    "chaos",
+    "BENCH_chaos.json",
+    "zero stranded tickets under injected faults, availability floor, "
+    "fault-free row clean (options: min-availability=0.95)",
+)
+def gate_chaos(run: GateRun) -> None:
+    record = load_record(run.record_path)
+    floor = run.number("min-availability", 0.95)
+    rows = require_rows(record, "rows", "chaos rows")
+
+    labels = [row.get("label") for row in rows]
+    if len(set(labels)) != len(labels):
+        run.fail("duplicate scenario labels in the record")
+    fault_free_rows = [row for row in rows if not row.get("faulted", True)]
+    if not fault_free_rows:
+        run.fail("no fault-free control scenario recorded")
+    if len(rows) - len(fault_free_rows) < 1:
+        run.fail("no faulted scenario recorded — the harness injected nothing")
+
+    for row in rows:
+        label = row.get("label", "?")
+        run.emit(
+            f"{label:>12s}  accepted={row.get('accepted', 0):>6d}  "
+            f"done={row.get('completed', 0):>6d}  failed={row.get('failed', 0):>4d}  "
+            f"stranded={row.get('stranded', 0):>3d}  "
+            f"avail={row.get('availability', float('nan')):7.2%}  "
+            f"injected={row.get('injected', 0):>4d}  "
+            f"crashes={row.get('worker_crashes', 0)}  "
+            f"quarantined={row.get('quarantined', 0)}"
+        )
+        if row.get("accepted", 0) <= 0:
+            run.fail(f"{label}: no queries accepted")
+            continue
+        if row.get("stranded", 0) != 0:
+            run.fail(
+                f"{label}: {row.get('stranded')} accepted queries stranded "
+                "without an outcome — the ownership ledger leaked"
+            )
+        resolved = (
+            row.get("completed", 0) + row.get("failed", 0) + row.get("cancelled", 0)
+        )
+        if resolved != row.get("accepted", 0):
+            run.fail(
+                f"{label}: completed+failed+cancelled {resolved} != accepted "
+                f"{row.get('accepted')}"
+            )
+        availability = row.get("availability")
+        if availability is None or not math.isfinite(availability):
+            run.fail(f"{label}: availability {availability!r} is not finite")
+        elif availability < floor:
+            run.fail(
+                f"{label}: availability {availability:.2%} below the "
+                f"{floor:.0%} floor"
+            )
+        if row.get("faulted", False):
+            if row.get("injected", 0) <= 0:
+                run.fail(f"{label}: faulted scenario recorded zero injected faults")
+        else:
+            if row.get("failed", 0) or row.get("cancelled", 0):
+                run.fail(
+                    f"{label}: fault-free scenario failed {row.get('failed')} / "
+                    f"cancelled {row.get('cancelled')} queries"
+                )
+            if availability is not None and availability != 1.0:
+                run.fail(
+                    f"{label}: fault-free availability {availability!r} != 1.0"
+                )
+            if row.get("injected", 0) != 0:
+                run.fail(
+                    f"{label}: fault-free scenario recorded "
+                    f"{row.get('injected')} injected faults"
+                )
+
+    if not (record.get("fault_free") or {}).get("identical", False):
+        run.fail("fault-free serving run diverged from the clean (no-injector) run")
+    run.ok(
+        f"no stranded tickets, every scenario above {floor:.0%} availability, "
+        "and the fault-free path is bit-identical to the clean run"
+    )
+
+
 # --------------------------------------------------------------------- #
 # bench-diff: committed records vs a base git ref
 # --------------------------------------------------------------------- #
@@ -607,6 +689,14 @@ def _diff_metrics(record: dict) -> "list[tuple[str, object, str]]":
             metrics.append(
                 (f"{name}.completed_all", row.get("completed") == row.get("accepted"), "bool")
             )
+    elif kind == "chaos":
+        metrics.append(
+            ("fault_free.identical", (record.get("fault_free") or {}).get("identical"), "bool")
+        )
+        for row in record.get("rows", []):
+            label = row.get("label", "?")
+            metrics.append((f"{label}.availability", row.get("availability"), "higher"))
+            metrics.append((f"{label}.stranded_zero", row.get("stranded") == 0, "bool"))
     elif kind == "dse":
         metrics.append(
             ("baseline.matches_run", (record.get("baseline") or {}).get("matches_run"), "bool")

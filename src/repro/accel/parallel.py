@@ -26,6 +26,8 @@ DRAM/cache scalar recurrences when the optional numba fast paths
 
 from __future__ import annotations
 
+import os
+import time
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..engine.sharded import (
@@ -36,6 +38,7 @@ from ..engine.sharded import (
 )
 from ..engine.window import WindowedBatch
 from ..exma.search import OccRequest
+from ..faults import SITE_SUBMIT, FaultInjector, InjectedFault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .exma_accelerator import (
@@ -67,6 +70,12 @@ def replay_epoch(
     return accelerator.run(flushed, name=name)
 
 
+def _exit_worker(*_args) -> None:  # pragma: no cover - runs in a pool worker
+    """Pool dispatch target of an injected *kill* fault: take this
+    process-pool worker down hard, breaking the executor."""
+    os._exit(17)
+
+
 class ParallelReplay:
     """A persistent flush-replay pool bound to one accelerator.
 
@@ -88,6 +97,15 @@ class ParallelReplay:
             ``REPRO_DEFAULT_REPLAY_WORKERS`` environment toggle.
         executor: ``"thread"`` or ``"process"``; defaults to the
             ``REPRO_DEFAULT_EXECUTOR`` environment toggle.
+        faults: optional :class:`~repro.faults.FaultInjector` probed at
+            ``pool.submit`` before each pool crossing (chaos testing of
+            the degradation ladder; ``None`` — the default — costs the
+            fault-free path nothing).
+        timeout: default gather timeout (seconds) for pool submissions;
+            ``None`` waits indefinitely.  A timed-out or broken pool
+            walks :class:`~repro.engine.sharded.BackendWorkerPool`'s
+            ladder: rebuilt once, then serial replay with a warn-once —
+            the replayed results are identical either way.
     """
 
     def __init__(
@@ -95,6 +113,8 @@ class ParallelReplay:
         accelerator: "ExmaAccelerator",
         workers: int | None = None,
         executor: str | None = None,
+        faults: FaultInjector | None = None,
+        timeout: float | None = None,
     ) -> None:
         workers = default_replay_workers() if workers is None else int(workers)
         if workers < 1:
@@ -104,9 +124,13 @@ class ParallelReplay:
             raise ValueError(
                 f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
             )
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be > 0 (or None)")
         self._accelerator = accelerator
         self._workers = workers
         self._executor = executor
+        self._faults = faults
+        self._timeout = timeout
         self._pool: BackendWorkerPool | None = None
 
     @property
@@ -129,11 +153,45 @@ class ParallelReplay:
         """Whether the underlying pool has been created (and not closed)."""
         return self._pool is not None and self._pool.active
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has fallen back to serial in-process replay."""
+        return self._pool is not None and self._pool.degraded
+
     def _ensure_pool(self) -> BackendWorkerPool:
         self._pool = BackendWorkerPool.ensure(
             self._pool, self._accelerator, self._executor, self._workers
         )
         return self._pool
+
+    def _inject_submit_fault(self) -> None:
+        """Probe the ``pool.submit`` injection site before a pool crossing.
+
+        A *kill* fault takes down a live process-pool worker with
+        ``os._exit`` (breaking the executor so the caller's degradation
+        ladder engages); on a thread pool — where a worker cannot be
+        killed — it degrades to a ``raise`` on the submitting side.
+        """
+        if self._faults is None:
+            return
+        spec = self._faults.decide(SITE_SUBMIT)
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+            return
+        if spec.kind == "kill" and self._workers > 1 and self._executor == "process":
+            pool = self._ensure_pool()
+            if not pool.degraded:
+                try:
+                    pool.submit(_exit_worker, None)
+                except Exception:  # noqa: BLE001 - pool already broken
+                    # A previous kill already broke the executor and no
+                    # call observed it yet: the submit that follows this
+                    # probe will, and walks the degradation ladder.
+                    pass
+            return
+        raise InjectedFault(SITE_SUBMIT, self._faults.probes[SITE_SUBMIT] - 1)
 
     def replay_flush(
         self,
@@ -147,10 +205,17 @@ class ParallelReplay:
         flush gains nothing by itself, concurrent callers (the serving
         batcher threads) overlap in the pool, and with the process
         executor the replay leaves the GIL of the submitting process.
+        A broken or wedged pool is absorbed by the rebuild-once /
+        serial-fallback ladder (:meth:`~repro.engine.sharded
+        .BackendWorkerPool.run_one`), so the caller always gets the
+        field-for-field identical epoch result.
         """
+        self._inject_submit_fault()
         if self._workers == 1:
             return replay_epoch(self._accelerator, name, flushed)
-        return self._ensure_pool().submit(replay_epoch, flushed, name).result()
+        return self._ensure_pool().run_one(
+            replay_epoch, flushed, name, timeout=self._timeout
+        )
 
     def run_stream(
         self,
@@ -182,7 +247,9 @@ class ParallelReplay:
         if self._workers == 1 or len(epochs) <= 1:
             flushes = [replay_epoch(self._accelerator, name, epoch) for epoch in epochs]
         else:
-            flushes = self._ensure_pool().map_shards(replay_epoch, epochs, name)
+            flushes = self._ensure_pool().map_shards(
+                replay_epoch, epochs, name, timeout=self._timeout
+            )
         return WindowedRunResult(
             name=name, flushes=flushes, capacity=None, batches=batches, issued=issued
         )

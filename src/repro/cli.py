@@ -18,7 +18,9 @@ Example::
 
     repro-exma search --genome-length 50000 --queries ACGTACGTACGT TTGACCA
     repro-exma experiment fig18 --genome-length 30000
+    repro-exma experiment chaos --fault-rate 0.2 --json BENCH_chaos.json
     printf 'ACGTACGT\\nTTGACCAG\\n' | repro-exma serve --genome-length 20000
+    printf 'ACGTACGT\\n' | repro-exma serve --inject engine.search:raise:0.5
     repro-exma serving-bench --rate 500 --duration 1 --json BENCH_serving.json
     repro-exma info --genome-length 3000000000 --step 15
 """
@@ -41,6 +43,7 @@ GB = 1024**3
 #: Experiments runnable from the CLI, mapped to their harness entry points.
 EXPERIMENT_NAMES = (
     "accel-replay",
+    "chaos",
     "dse",
     "fig1",
     "fig6",
@@ -155,6 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (each batch's flush is one parallel epoch)",
     )
     experiment.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.2,
+        help="chaos: per-probe Bernoulli fault rate for the injected scenarios",
+    )
+    experiment.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=400.0,
+        help="chaos: mean client arrivals per second of the open-loop load",
+    )
+    experiment.add_argument(
+        "--chaos-duration",
+        type=float,
+        default=0.5,
+        help="chaos: offered-load horizon in seconds per scenario",
+    )
+    experiment.add_argument(
         "--grid",
         default=None,
         metavar="SPEC",
@@ -212,6 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker pool kind for --replay-workers "
         "(default: REPRO_DEFAULT_EXECUTOR or thread)",
+    )
+    serve.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SITE:KIND:RATE[:DELAY]",
+        help="inject deterministic faults into the serving path; repeatable. "
+        "SITE is one of engine.search, replay.flush, pool.submit, "
+        "worker.loop; KIND is raise, delay or kill; RATE is a per-probe "
+        "probability or @i,j exact probe indices",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the per-site fault-injection RNG streams",
     )
     _add_serving_flags(serve)
     _add_sharding_flags(serve)
@@ -396,6 +433,24 @@ def _run_experiment(args: argparse.Namespace) -> int:
         if not all(row.results_equal for row in result.scaling_rows):
             print("ERROR: parallel replay diverged from the serial epoch order")
             return 1
+    elif name == "chaos":
+        result = ex.run_chaos(
+            genome_length=args.genome_length,
+            seed=args.seed,
+            rate=args.chaos_rate,
+            duration=args.chaos_duration,
+            fault_rate=args.fault_rate,
+        )
+        print(ex.format_chaos(result))
+        if args.json:
+            ex.write_chaos_json(args.json, result)
+            print(f"wrote {args.json}")
+        if any(row.stranded for row in result.rows):
+            print("ERROR: a chaos scenario stranded accepted queries")
+            return 1
+        if not result.fault_free_identical:
+            print("ERROR: the fault-free scenario diverged from the clean run")
+            return 1
     elif name == "dse":
         result = ex.run_dse(
             genome_length=args.genome_length,
@@ -527,6 +582,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     from .engine.backends import ExmaBackend
     from .experiments.fig18_throughput import _scaled_config
     from .exma.table import ExmaTable
+    from .faults import FaultPlan
     from .serving import QueryService, ServingConfig
 
     reference = _load_reference(args)
@@ -537,6 +593,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     accelerator = None
     if not args.no_accel:
         accelerator = ExmaAccelerator(table, None, _scaled_config(exma_full_config()))
+    faults = None
+    if args.inject:
+        try:
+            faults = FaultPlan.parse(args.inject, seed=args.fault_seed)
+        except ValueError as error:
+            raise SystemExit(f"invalid --inject spec: {error}")
     config = ServingConfig(
         max_batch=args.max_batch,
         max_delay=args.max_delay,
@@ -545,6 +607,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         replay_workers=args.replay_workers,
         replay_executor=args.replay_executor,
+        faults=faults,
     )
     print(
         f"serving: reference {len(reference):,} bp, k={args.step}, "
@@ -552,30 +615,49 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"W={config.window}, queue<={config.queue_capacity}, "
         f"workers={config.workers}, replay workers={config.replay_workers}"
         + ("" if accelerator else ", search-only")
+        + (f", {len(faults.specs)} fault spec(s)" if faults else "")
     )
     submissions = []
+    interrupted = False
     with QueryService(engine, accelerator, config) as service:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            tenant, _, query = line.rpartition("\t")
-            tenant = tenant or "default"
-            submissions.append(service.submit([query], tenant=tenant))
+        try:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                tenant, _, query = line.rpartition("\t")
+                tenant = tenant or "default"
+                submissions.append(service.submit([query], tenant=tenant))
+        except KeyboardInterrupt:
+            interrupted = True
+            print("\ninterrupted; draining in-flight queries...")
         service.stop()
         for ticket in submissions:
             for outcome in ticket.result(timeout=60.0):
-                print(
-                    f"  {outcome.query}: {outcome.interval.count} occurrence(s)  "
-                    f"[tenant {outcome.tenant}, batch {outcome.batch_index}, "
-                    f"flush {outcome.flush_index}, {outcome.latency * 1e3:.2f} ms]"
-                )
+                if outcome.ok:
+                    print(
+                        f"  {outcome.query}: {outcome.interval.count} occurrence(s)  "
+                        f"[tenant {outcome.tenant}, batch {outcome.batch_index}, "
+                        f"flush {outcome.flush_index}, {outcome.latency * 1e3:.2f} ms]"
+                    )
+                else:
+                    print(
+                        f"  {outcome.query}: {outcome.status}  "
+                        f"[tenant {outcome.tenant}, {outcome.error}]"
+                    )
         stats = service.stats
     print(
         f"served {stats.completed} queries in {stats.batches} dynamic batch(es), "
         f"{stats.flushes} flush replay(s); p50 "
         f"{stats.latency_percentile(50) * 1e3:.2f} ms, p99 "
         f"{stats.latency_percentile(99) * 1e3:.2f} ms"
+        + (
+            f"; {stats.failed} failed, {stats.cancelled} cancelled, "
+            f"{stats.worker_crashes} worker crash(es)"
+            if stats.failed or stats.cancelled or stats.worker_crashes
+            else ""
+        )
+        + (" (interrupted)" if interrupted else "")
     )
     return 0
 

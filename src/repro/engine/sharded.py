@@ -42,7 +42,13 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
@@ -282,6 +288,15 @@ def _call_worker(fn: Callable, args: tuple, shard: list) -> object:
     return fn(_WORKER_BACKEND, *args, shard)
 
 
+#: Failures that indict the *pool*, not the submitted work: a broken
+#: executor (e.g. a process worker died mid-call) or a gather timeout (a
+#: worker wedged past the caller's deadline).  Exceptions raised *by* the
+#: submitted function are never in this set — they propagate to the
+#: caller untouched, because retrying them on a fresh pool would just
+#: re-raise.
+_POOL_FAILURES = (BrokenExecutor, FuturesTimeoutError, TimeoutError)
+
+
 class BackendWorkerPool:
     """A long-lived shard worker pool bound to one backend.
 
@@ -314,6 +329,11 @@ class BackendWorkerPool:
         self._kind = executor
         self._max_workers = int(max_workers)
         self._pool: Executor | None = None
+        #: Degradation ladder state: one rebuild is allowed per pool
+        #: lifetime; the second pool failure flips ``degraded`` and every
+        #: later call runs inline (serial, in-process) with a warn-once.
+        self._rebuilt = False
+        self._degraded = False
 
     @property
     def backend(self) -> SearchBackend:
@@ -335,6 +355,24 @@ class BackendWorkerPool:
         """Whether the underlying executor has been created (and not shut
         down)."""
         return self._pool is not None
+
+    @property
+    def rebuilt(self) -> bool:
+        """Whether the pool has spent its one rebuild after a failure."""
+        return self._rebuilt
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has fallen back to serial in-process calls.
+
+        Set after a *second* pool failure (broken executor or gather
+        timeout): the pool was rebuilt once already, so further rebuilds
+        are presumed futile and every subsequent :meth:`map_shards` /
+        :meth:`run_one` runs inline.  Results are unchanged — serial and
+        pooled execution are exact-equivalent by construction — only the
+        parallelism is lost.
+        """
+        return self._degraded
 
     @classmethod
     def ensure(
@@ -377,7 +415,37 @@ class BackendWorkerPool:
                 )
         return self._pool
 
-    def map_shards(self, fn: Callable, shard_lists: Sequence[list], *args) -> list:
+    def _submit_all(self, fn: Callable, items: Sequence, args: tuple) -> list:
+        pool = self._ensure()
+        if self._kind == "thread":
+            return [pool.submit(fn, self._backend, *args, item) for item in items]
+        return [pool.submit(_call_worker, fn, args, item) for item in items]
+
+    def _note_pool_failure(self, error: BaseException) -> None:
+        """Advance the degradation ladder after a pool-level failure.
+
+        First failure: tear the executor down and spend the one rebuild
+        (the next submit lazily recreates it).  Second failure, ever:
+        flip to degraded — all later calls run serial in-process — and
+        warn exactly once per pool.
+        """
+        self.shutdown(wait=False)
+        if not self._rebuilt:
+            self._rebuilt = True
+            return
+        if not self._degraded:
+            self._degraded = True
+            warnings.warn(
+                f"{self._kind} worker pool failed twice "
+                f"({type(error).__name__}: {error}); falling back to serial "
+                f"in-process execution for the rest of this pool's lifetime",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def map_shards(
+        self, fn: Callable, shard_lists: Sequence[list], *args, timeout: float | None = None
+    ) -> list:
         """Apply ``fn(backend, *args, shard)`` to every shard, in order.
 
         *fn* must be a module-level function (picklable by reference).
@@ -385,21 +453,46 @@ class BackendWorkerPool:
         look the backend up in the worker global installed by the pool
         initializer, so only ``(fn, args, shard)`` crosses the pipe.  A
         single shard runs inline, skipping the pool entirely.
+
+        Pool-level failures (a broken executor, a worker exceeding
+        *timeout*) walk the degradation ladder — rebuild once, then fall
+        back to serial in-process execution with a warn-once — so a dead
+        worker pool degrades throughput instead of the result.
+        Exceptions raised by *fn* itself always propagate unchanged.
         """
         if not shard_lists:
             return []
-        if len(shard_lists) == 1:
-            return [fn(self._backend, *args, shard_lists[0])]
-        pool = self._ensure()
-        if self._kind == "thread":
-            futures = [
-                pool.submit(fn, self._backend, *args, shard) for shard in shard_lists
-            ]
-        else:
-            futures = [
-                pool.submit(_call_worker, fn, args, shard) for shard in shard_lists
-            ]
-        return [future.result() for future in futures]
+        if len(shard_lists) == 1 or self._degraded:
+            return [fn(self._backend, *args, shard) for shard in shard_lists]
+        for _ in range(2):
+            if self._degraded:
+                break
+            try:
+                futures = self._submit_all(fn, shard_lists, args)
+                return [future.result(timeout) for future in futures]
+            except _POOL_FAILURES as error:
+                self._note_pool_failure(error)
+        return [fn(self._backend, *args, shard) for shard in shard_lists]
+
+    def run_one(self, fn: Callable, item, *args, timeout: float | None = None):
+        """Run ``fn(backend, *args, item)`` on the pool and wait for it.
+
+        The resilient single-item shape: like ``submit(...).result()``
+        but with the same rebuild-once / serial-fallback ladder as
+        :meth:`map_shards` (and an optional gather *timeout*), so a
+        broken pool costs the caller parallelism, never the result.  In
+        degraded mode the call simply runs inline.
+        """
+        if self._degraded:
+            return fn(self._backend, *args, item)
+        for _ in range(2):
+            if self._degraded:
+                break
+            try:
+                return self.submit(fn, item, *args).result(timeout)
+            except _POOL_FAILURES as error:
+                self._note_pool_failure(error)
+        return fn(self._backend, *args, item)
 
     def submit(self, fn: Callable, item, *args):
         """Schedule ``fn(backend, *args, item)`` on the pool; returns a Future.

@@ -24,8 +24,12 @@ from .loadgen import (
 )
 from .service import (
     AdmissionRejected,
+    QueryCancelled,
+    QueryFailed,
     QueryOutcome,
     QueryService,
+    ReplayFailed,
+    SearchFailed,
     ServingConfig,
     ServingStats,
     TenantQueues,
@@ -39,8 +43,12 @@ __all__ = [
     "Arrival",
     "BatcherWorker",
     "OpenLoopResult",
+    "QueryCancelled",
+    "QueryFailed",
     "QueryOutcome",
     "QueryService",
+    "ReplayFailed",
+    "SearchFailed",
     "ServingConfig",
     "ServingStats",
     "TenantQueues",

@@ -58,13 +58,18 @@ from ..accel.exma_accelerator import (
 from ..accel.parallel import ParallelReplay
 from ..engine.engine import QueryEngine
 from ..engine.sharded import EXECUTORS
+from ..faults import SITE_REPLAY, FaultInjector, FaultPlan, WorkerKilled
 from ..index.fmindex import Interval
 from .workers import BatcherWorker
 
 __all__ = [
     "AdmissionRejected",
+    "QueryCancelled",
+    "QueryFailed",
     "QueryOutcome",
     "QueryService",
+    "ReplayFailed",
+    "SearchFailed",
     "ServingConfig",
     "ServingStats",
     "TenantQueues",
@@ -94,6 +99,29 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+class QueryFailed(RuntimeError):
+    """Base of the structured failure taxonomy.
+
+    Every query a :class:`QueryService` accepts resolves to exactly one
+    of three terminal states — ``completed``, ``failed`` or ``cancelled``
+    (the zero-stranded-tickets contract) — and a non-completed
+    :class:`QueryOutcome` carries ``str(error)`` of the ``QueryFailed``
+    subclass (or original exception) that terminated it.
+    """
+
+
+class SearchFailed(QueryFailed):
+    """The lockstep batch search raised; bisection isolated this query."""
+
+
+class ReplayFailed(QueryFailed):
+    """The flush replay failed after retries and degraded per-batch replay."""
+
+
+class QueryCancelled(QueryFailed):
+    """The service stopped without draining while the query was queued."""
 
 
 class AdmissionRejected(RuntimeError):
@@ -164,6 +192,22 @@ class ServingConfig:
             completions/flushes on an always-on service that outlives it;
             counters (``completed``, ``flushes``, ...) are never
             truncated.
+        replay_retries: extra flush-replay attempts after a transient
+            replay failure, with capped exponential backoff
+            (``retry_backoff``) between attempts.  A flush that exhausts
+            its retries is bisected per batch (degraded-mode replay) so a
+            poisoned batch fails alone.
+        retry_backoff: base sleep before replay retry *n* (doubled per
+            attempt, capped at ``0.25`` s); ``0`` retries immediately.
+        replay_timeout: gather timeout (seconds) on offloaded flush
+            replays — a wedged replay-pool worker trips the pool's
+            rebuild-once/serial-fallback ladder instead of blocking a
+            batcher forever.  ``None`` (default) waits indefinitely.
+        faults: optional :class:`~repro.faults.FaultPlan` of injected
+            faults, evaluated by a seeded per-service
+            :class:`~repro.faults.FaultInjector` (chaos testing).
+            ``None`` disables injection entirely; the fault-free path is
+            field-for-field identical either way.
         name: label stamped on the accelerator run results.
     """
 
@@ -176,6 +220,10 @@ class ServingConfig:
     replay_workers: int = 1
     replay_executor: str | None = None
     stats_retention: int = 200_000
+    replay_retries: int = 2
+    retry_backoff: float = 0.005
+    replay_timeout: float | None = None
+    faults: FaultPlan | None = None
     name: str = "EXMA-serving"
 
     def __post_init__(self) -> None:
@@ -200,15 +248,34 @@ class ServingConfig:
             )
         if self.stats_retention < 1:
             raise ValueError("stats_retention must be >= 1")
+        if self.replay_retries < 0:
+            raise ValueError("replay_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.replay_timeout is not None and self.replay_timeout <= 0:
+            raise ValueError("replay_timeout must be > 0 (or None)")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError("faults must be a FaultPlan (or None)")
 
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """One served query: its search result plus the serving timeline."""
+    """One served query: its search result plus the serving timeline.
+
+    Every accepted query resolves to exactly one outcome, successful or
+    not: ``status`` is ``"completed"`` (interval valid), ``"failed"``
+    (the query's batch or flush died after the recovery ladder —
+    ``error`` names the :class:`QueryFailed` cause) or ``"cancelled"``
+    (``stop(drain=False)`` dropped it while queued).  A ticket therefore
+    always resolves; it never strands a waiter in ``TimeoutError``.
+    """
 
     query: str
     tenant: str
-    interval: Interval
+    #: The search result; ``None`` unless ``status == "completed"``
+    #: (except search-complete queries failed later in replay, which keep
+    #: the interval their search produced).
+    interval: Interval | None
     #: Clock reading when the query was admitted.
     arrival: float
     #: Clock reading when its flush finished replaying.
@@ -221,6 +288,15 @@ class QueryOutcome:
     #: Index of the batcher worker that served the query (-1 when
     #: unknown, e.g. outcomes constructed outside the service).
     worker_index: int = -1
+    #: Terminal state: ``"completed"``, ``"failed"`` or ``"cancelled"``.
+    status: str = "completed"
+    #: ``str`` of the failure cause (``None`` when completed).
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query completed successfully."""
+        return self.status == "completed"
 
     @property
     def latency(self) -> float:
@@ -425,6 +501,21 @@ class ServingStats:
     window_batches: int = 0
     #: Admission windows that timed out with no queued queries.
     idle_timeouts: int = 0
+    #: Queries resolved with a failed / cancelled outcome (all three
+    #: terminal states sum to every accepted query — the ledger the
+    #: chaos gate checks).
+    failed: int = 0
+    cancelled: int = 0
+    #: Batcher-worker crashes absorbed by supervision (each respawned
+    #: the worker unless the service was stopping).
+    worker_crashes: int = 0
+    #: Flush-replay attempts that raised (each either retried with
+    #: backoff or escalated to degraded per-batch replay).
+    replay_faults: int = 0
+    #: Queries failed in isolation after bisection (a poisoned query
+    #: quarantined at search time, or a poisoned batch in degraded
+    #: replay) — the rest of their batch/window completed.
+    quarantined: int = 0
     #: Arrival→completion seconds per completed query, in completion
     #: order; bounded to the most recent :attr:`retention` completions.
     latencies: "deque[float]" = field(default_factory=deque)
@@ -486,6 +577,14 @@ class QueryService(object):
         self._flushes: "deque[AcceleratorRunResult]" = deque(
             maxlen=self._config.stats_retention
         )
+        #: Fault-injection runtime, built once from the (frozen) plan;
+        #: ``None`` — the production default — keeps every injection
+        #: point a no-op branch.
+        self._faults = (
+            FaultInjector(self._config.faults)
+            if self._config.faults is not None
+            else None
+        )
         #: Shared epoch-replay driver all batcher workers hand their
         #: flushes to; at ``replay_workers == 1`` it replays inline (no
         #: pool exists), so the single-worker path is unchanged.
@@ -494,6 +593,8 @@ class QueryService(object):
                 accelerator,
                 workers=self._config.replay_workers,
                 executor=self._config.replay_executor,
+                faults=self._faults,
+                timeout=self._config.replay_timeout,
             )
             if accelerator is not None
             else None
@@ -529,6 +630,11 @@ class QueryService(object):
         return self._replay
 
     @property
+    def faults(self) -> FaultInjector | None:
+        """The fault-injection runtime (None without a configured plan)."""
+        return self._faults
+
+    @property
     def running(self) -> bool:
         """Whether any batcher thread is alive."""
         return any(worker.alive for worker in self._workers)
@@ -551,16 +657,24 @@ class QueryService(object):
         """Stop the batcher workers.
 
         With ``drain=True`` everything already admitted is batched,
-        searched, flushed and completed first; with ``drain=False`` the
-        queue is dropped and the affected tickets never resolve (their
-        ``result(timeout=...)`` raises ``TimeoutError``).
+        searched, flushed and completed first; with ``drain=False`` still-
+        queued queries resolve *immediately* with a structured
+        ``cancelled`` outcome (queries already searched and riding a
+        partial coalescing window still complete — their work is done but
+        for the flush).  Either way every accepted ticket resolves; a
+        ``result()`` waiter is never stranded into ``TimeoutError``.
         """
         with self._wakeup:
             self._stopping = True
-            if not drain:
-                self._queues.clear()
+            dropped = [] if drain else self._queues.clear()
             self._wakeup.notify_all()
             threads = [worker.thread for worker in self._workers if worker.thread]
+        if dropped:
+            self._fail(
+                dropped,
+                QueryCancelled("service stopped without draining"),
+                status="cancelled",
+            )
         if threads:
             deadline = None if timeout is None else time.monotonic() + timeout
             for thread in threads:
@@ -570,9 +684,27 @@ class QueryService(object):
         elif drain:
             # Never-started service: drain inline so submitted work still
             # completes deterministically.
-            self._workers[0].finish()
+            self._drain_inline()
+        if drain and not self.running and self._queues.queued:
+            # A worker crashed while we were stopping and left queued
+            # work behind (supervision does not respawn past this point):
+            # sweep it inline so the zero-stranded contract holds.
+            self._drain_inline()
         if self._replay is not None:
             self._replay.close()
+
+    def _drain_inline(self) -> None:
+        """Drain the queue on the caller's thread via worker 0, resolving
+        everything as failed if even the inline sweep dies."""
+        worker = self._workers[0]
+        try:
+            worker.finish()
+        except BaseException as error:  # noqa: BLE001 - last-resort sweep
+            worker._abandon_in_flight(error)
+            with self._lock:
+                leftovers = self._queues.clear()
+            if leftovers:
+                self._fail(leftovers, error)
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -697,6 +829,11 @@ class QueryService(object):
                 self._wakeup.wait(remaining)
             return self._take_batch()
 
+    def _fire_fault(self, site: str) -> None:
+        """Probe one fault-injection site (no-op without a configured plan)."""
+        if self._faults is not None:
+            self._faults.fire(site)
+
     def _replay_flush(self, flushed) -> AcceleratorRunResult:
         """Replay one flushed window through the shared replay driver.
 
@@ -707,6 +844,35 @@ class QueryService(object):
         returns, so the offline-equivalence pin is untouched.
         """
         return self._replay.replay_flush(flushed, name=self._config.name)
+
+    def _replay_with_retry(self, flushed) -> AcceleratorRunResult:
+        """Replay a flush, absorbing transient faults with capped backoff.
+
+        Up to ``1 + replay_retries`` attempts; each failed attempt counts
+        into ``stats.replay_faults`` and sleeps ``retry_backoff * 2**n``
+        (capped at 0.25 s) before the next.  :class:`~repro.faults
+        .WorkerKilled` is never retried — a killed worker must crash to
+        its supervisor, not limp on.  Exhausted retries raise
+        :class:`ReplayFailed`; the worker then bisects the window into
+        degraded per-batch replays so a poisoned batch fails alone.
+        """
+        attempts = 1 + self._config.replay_retries
+        last: BaseException | None = None
+        for attempt in range(attempts):
+            try:
+                self._fire_fault(SITE_REPLAY)
+                return self._replay_flush(flushed)
+            except WorkerKilled:
+                raise
+            except Exception as error:  # noqa: BLE001 - retry ladder
+                last = error
+                with self._lock:
+                    self.stats.replay_faults += 1
+                if attempt + 1 < attempts and self._config.retry_backoff > 0:
+                    time.sleep(min(self._config.retry_backoff * (2**attempt), 0.25))
+        raise ReplayFailed(
+            f"flush replay failed after {attempts} attempt(s): {last}"
+        ) from last
 
     def _record_flush(self, run: AcceleratorRunResult, flushed) -> int:
         """Account one replayed flush (called by the worker that ran it);
@@ -745,6 +911,69 @@ class QueryService(object):
                     worker_index=worker_index,
                 ),
             )
+
+    def _fail(
+        self,
+        pendings: list[_Pending],
+        error: BaseException,
+        worker_index: int = -1,
+        status: str = "failed",
+        quarantined: bool = False,
+    ) -> None:
+        """Resolve *pendings* with a structured failed/cancelled outcome.
+
+        The unhappy-path twin of :meth:`_complete`: the tickets resolve
+        right now — carrying the failure cause instead of hanging their
+        waiters into ``TimeoutError`` — and the failure counters advance.
+        Failed/cancelled queries never enter the latency record or the
+        per-tenant completion counts; those stay success-only.
+        """
+        if not pendings:
+            return
+        now = self._clock()
+        message = f"{type(error).__name__}: {error}"
+        with self._lock:
+            if status == "cancelled":
+                self.stats.cancelled += len(pendings)
+            else:
+                self.stats.failed += len(pendings)
+            if quarantined:
+                self.stats.quarantined += len(pendings)
+        for pending in pendings:
+            pending.ticket._complete(
+                pending.slot,
+                QueryOutcome(
+                    query=pending.query,
+                    tenant=pending.tenant,
+                    interval=pending.interval,
+                    arrival=pending.arrival,
+                    completion=now,
+                    batch_index=pending.batch_index,
+                    flush_index=-1,
+                    worker_index=worker_index,
+                    status=status,
+                    error=message,
+                ),
+            )
+
+    def _on_worker_crash(self, worker: BatcherWorker, error: BaseException) -> None:
+        """Supervision: absorb a batcher-worker crash and respawn it.
+
+        Runs on the dying worker's own thread as its last act (the
+        worker already resolved its in-flight queries as failed).  The
+        crash only takes down its batch: unless the service is stopping,
+        a fresh thread picks the same worker state (engine, empty window)
+        back up, so queued and future queries keep flowing.
+        """
+        with self._wakeup:
+            self.stats.worker_crashes += 1
+            # Respawn under the lock: :meth:`stop` snapshots the worker
+            # threads under the same lock, so it either sees the old
+            # (dying) thread or the replacement after ``start()`` —
+            # never a Thread object that exists but is not yet started
+            # (joining one raises RuntimeError).
+            if not self._stopping:
+                worker.start()
 
     # ------------------------------------------------------------------ #
     # Results

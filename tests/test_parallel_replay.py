@@ -220,6 +220,117 @@ class TestKnobResolution:
 
 
 # --------------------------------------------------------------------- #
+# Pool failure: rebuild once, then degrade to serial (exactly)
+# --------------------------------------------------------------------- #
+
+
+class TestPoolDegradation:
+    """A broken or wedged pool must never change results: the ladder is
+    rebuild-once then warn-once serial fallback, each rung field-for-field
+    identical to the serial replay."""
+
+    def _flushes(self, streams):
+        return list(CoalescingWindow(2).stream(streams["exma"]))
+
+    def test_process_worker_kill_rebuilds_pool_exactly(self, streams, accelerator):
+        from repro.faults import SITE_SUBMIT, FaultInjector, FaultPlan, FaultSpec
+
+        flushes = self._flushes(streams)
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site=SITE_SUBMIT, kind="kill", at=(0,)),))
+        )
+        with ParallelReplay(
+            accelerator, workers=2, executor="process", faults=injector
+        ) as replay:
+            for flushed in flushes:
+                assert replay.replay_flush(flushed) == accelerator.replay_flush(flushed)
+            assert not replay.degraded  # one failure: rebuilt, not degraded
+        assert injector.total_injected == 1
+
+    def test_repeated_kills_never_change_results(self, streams, accelerator):
+        """A kill on *every* flush submission: whether each broken pool is
+        observed at submit time or at gather time (a scheduling race), the
+        ladder absorbs it — every result stays exact and nothing escapes.
+        The warn-once on the second observed failure is tolerated, not
+        required (the deterministic rebuild->degrade sequence is pinned by
+        the wedged-pool timeout test below)."""
+        import warnings as _warnings
+
+        from repro.faults import SITE_SUBMIT, FaultInjector, FaultPlan, FaultSpec
+
+        flushes = self._flushes(streams)
+        assert len(flushes) >= 2
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site=SITE_SUBMIT, kind="kill", at=tuple(range(len(flushes)))
+                    ),
+                )
+            )
+        )
+        with ParallelReplay(
+            accelerator, workers=2, executor="process", faults=injector
+        ) as replay:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                results = [replay.replay_flush(flushed) for flushed in flushes]
+        assert injector.total_injected == len(flushes)
+        assert results == [accelerator.replay_flush(flushed) for flushed in flushes]
+
+    def test_thread_kill_degrades_on_submitting_side(self, streams, accelerator):
+        """A thread pool has no separate process to take down: the kill
+        surfaces as an InjectedFault on the submitting side instead of
+        silently succeeding."""
+        from repro.faults import SITE_SUBMIT, FaultInjector, FaultPlan, FaultSpec, InjectedFault
+
+        flushes = self._flushes(streams)
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site=SITE_SUBMIT, kind="kill", at=(0,)),))
+        )
+        with ParallelReplay(
+            accelerator, workers=2, executor="thread", faults=injector
+        ) as replay:
+            with pytest.raises(InjectedFault):
+                replay.replay_flush(flushes[0])
+            # Later flushes are untouched (the fault was a task error, not
+            # a pool failure).
+            assert replay.replay_flush(flushes[1]) == accelerator.replay_flush(flushes[1])
+
+    def test_wedged_pool_times_out_into_serial_fallback(
+        self, streams, accelerator, monkeypatch
+    ):
+        """A replay that outlives the gather deadline trips the whole
+        ladder — timeout, rebuild, timeout, degrade — and the inline
+        fallback still returns the exact serial result."""
+        import time as _time
+
+        import repro.accel.parallel as parallel_module
+
+        flushes = self._flushes(streams)
+        real_epoch = parallel_module.replay_epoch
+
+        def wedged_epoch(accel, name, flushed):
+            _time.sleep(0.2)
+            return real_epoch(accel, name, flushed)
+
+        monkeypatch.setattr(parallel_module, "replay_epoch", wedged_epoch)
+        with ParallelReplay(
+            accelerator, workers=2, executor="thread", timeout=0.01
+        ) as replay:
+            with pytest.warns(RuntimeWarning, match="failed twice"):
+                result = replay.replay_flush(flushes[0])
+            assert replay.degraded
+            assert result == accelerator.replay_flush(flushes[0])
+
+    def test_timeout_validated(self, accelerator):
+        with pytest.raises(ValueError):
+            ParallelReplay(accelerator, workers=2, timeout=0.0)
+        with pytest.raises(ValueError):
+            ParallelReplay(accelerator, workers=2, timeout=-1.0)
+
+
+# --------------------------------------------------------------------- #
 # Serving integration
 # --------------------------------------------------------------------- #
 

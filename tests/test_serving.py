@@ -367,16 +367,26 @@ class TestLifecycle:
         assert service.stats.flushes == 1  # the forced partial flush
         assert service.result().capacity == 8
 
-    def test_stop_without_drain_abandons_queue(self, serving_stack):
+    def test_stop_without_drain_cancels_queue(self, serving_stack):
+        """stop(drain=False) resolves still-queued tickets immediately with
+        structured cancelled outcomes — no waiter ever strands into
+        TimeoutError."""
         _, backend, _ = serving_stack
         service = QueryService(
             QueryEngine(backend), config=ServingConfig(queue_capacity=16)
         )
         ticket = service.submit(["ACGT"] * 3)
         service.stop(drain=False)
-        assert not ticket.done()
-        with pytest.raises(TimeoutError):
-            ticket.result(timeout=0.01)
+        assert ticket.done()
+        outcomes = ticket.result(timeout=0.01)
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert outcome.status == "cancelled"
+            assert not outcome.ok
+            assert outcome.interval is None
+            assert "QueryCancelled" in outcome.error
+        assert service.stats.cancelled == 3
+        assert service.stats.completed == 0
 
     def test_never_started_service_drains_on_stop(self, serving_stack):
         """stop(drain=True) completes admitted work even if the batcher
